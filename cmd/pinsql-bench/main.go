@@ -1,0 +1,118 @@
+// Command pinsql-bench regenerates the tables and figures of the PinSQL
+// paper's evaluation (§VIII) on the simulated substrate and prints them in
+// the paper's layout.
+//
+// Usage:
+//
+//	pinsql-bench -exp all                 # every experiment
+//	pinsql-bench -exp table1 -cases 40    # Table I with a 40-case corpus
+//	pinsql-bench -exp fig7                # scalability sweep
+//	pinsql-bench -exp sweep -param tau    # hyperparameter sensitivity
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pinsql/internal/bench"
+	"pinsql/internal/cases"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|all")
+		n     = flag.Int("cases", 24, "corpus size for table1/fig6/families")
+		seed  = flag.Int64("seed", 1, "corpus seed")
+		param = flag.String("param", "ks", "sweep parameter: ks|tau|buckets")
+		small = flag.Bool("small", false, "use reduced trace lengths (faster, noisier)")
+	)
+	flag.Parse()
+
+	corpus := func(count int) cases.Options {
+		if *small {
+			return bench.SmallCorpus(*seed, count)
+		}
+		opt := cases.DefaultOptions()
+		opt.Seed = *seed
+		opt.Count = count
+		return opt
+	}
+
+	run := func(name string, fn func() (fmt.Stringer, error)) {
+		start := time.Now()
+		res, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pinsql-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	experiments := map[string]func(){
+		"table1": func() {
+			run("table1", func() (fmt.Stringer, error) { return wrap(bench.RunTableI(corpus(*n))) })
+		},
+		"fig6": func() {
+			run("fig6", func() (fmt.Stringer, error) { return wrap(bench.RunFig6(corpus(*n))) })
+		},
+		"fig7": func() {
+			run("fig7", func() (fmt.Stringer, error) { return wrap(bench.RunFig7(*seed, nil, nil)) })
+		},
+		"fig8": func() {
+			run("fig8", func() (fmt.Stringer, error) { return wrap(bench.RunFig8(*seed)) })
+		},
+		"table2": func() {
+			run("table2", func() (fmt.Stringer, error) { return wrap(bench.RunTableII(*seed, *n/2)) })
+		},
+		"table3": func() {
+			run("table3", func() (fmt.Stringer, error) { return wrap(bench.RunTableIII(*seed, 10)) })
+		},
+		"table4": func() {
+			run("table4", func() (fmt.Stringer, error) { return wrap(bench.RunTableIV(bench.StressOptions{Seed: *seed})) })
+		},
+		"sweep": func() {
+			values := map[string][]float64{
+				"ks":      {2, 10, 30, 100, 1000},
+				"tau":     {0.5, 0.65, 0.8, 0.9, 0.97},
+				"buckets": {1, 5, 10, 20, 50},
+			}[*param]
+			run("sweep-"+*param, func() (fmt.Stringer, error) {
+				return wrap(bench.RunParamSweep(corpus(*n), *param, values))
+			})
+		},
+		"families": func() {
+			run("families", func() (fmt.Stringer, error) { return wrap(bench.RunFamilyBreakdown(corpus(*n))) })
+		},
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "table2", "table3", "table4", "families"} {
+			experiments[name]()
+		}
+		return
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pinsql-bench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	fn()
+}
+
+// formatter is any experiment result with a Format method.
+type formatter interface{ Format() string }
+
+// wrapped adapts Format to fmt.Stringer.
+type wrapped struct{ f formatter }
+
+func (w wrapped) String() string { return w.f.Format() }
+
+func wrap[T formatter](res T, err error) (fmt.Stringer, error) {
+	if err != nil {
+		return nil, err
+	}
+	return wrapped{res}, nil
+}

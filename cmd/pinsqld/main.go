@@ -1,0 +1,159 @@
+// Command pinsqld is the autonomous diagnosing daemon: it continuously
+// monitors a (simulated) cloud database instance through the full PinSQL
+// pipeline — streaming collection via the broker, windowed aggregation,
+// round-the-clock anomaly detection, diagnosis on detection, and
+// (optionally) automatic repairing actions — mirroring the production
+// deployment of Fig. 2.
+//
+// Each monitoring window simulates `-window` seconds of instance time; a
+// random anomaly is injected every few windows so the pipeline has work.
+//
+// Usage:
+//
+//	pinsqld -windows 6 -window 1200 -auto-repair
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pinsql/internal/anomaly"
+	"pinsql/internal/collect"
+	"pinsql/internal/core"
+	"pinsql/internal/dbsim"
+	"pinsql/internal/logstore"
+	"pinsql/internal/repair"
+	"pinsql/internal/session"
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+	"pinsql/internal/workload"
+)
+
+func main() {
+	var (
+		windows    = flag.Int("windows", 4, "number of monitoring windows to run")
+		windowSec  = flag.Int("window", 1200, "window length in simulated seconds")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		autoRepair = flag.Bool("auto-repair", false, "execute suggested repairing actions")
+	)
+	flag.Parse()
+
+	if err := run(*windows, *windowSec, *seed, *autoRepair); err != nil {
+		fmt.Fprintln(os.Stderr, "pinsqld:", err)
+		os.Exit(1)
+	}
+}
+
+func run(windows, windowSec int, seed int64, autoRepair bool) error {
+	world := workload.DefaultWorld(seed)
+	world.AddFillerServices(3, 6)
+	cfg := dbsim.DefaultConfig()
+	cfg.Seed = seed
+	inst := dbsim.NewInstance(cfg)
+	world.Apply(inst)
+
+	registry := collect.NewRegistry()
+	store := logstore.New(0)
+	broker := collect.NewBroker()
+	defer broker.Close()
+	det := anomaly.NewDetector(anomaly.Config{})
+	mod := repair.New(repair.DefaultConfig(), repair.DefaultOptimizer())
+
+	anomalies := []func(from, to int64){
+		func(from, to int64) { world.InjectBusinessSpike(world.Services[2], 40, from, to) },
+		func(from, to int64) { world.InjectLockStorm(world.Services[2], "orders", 7, from, to) },
+		func(from, to int64) { world.InjectMDL("orders", from, (to-from)/2) },
+	}
+
+	for w := 0; w < windows; w++ {
+		fromMs := int64(w*windowSec) * 1000
+		toMs := int64((w+1)*windowSec) * 1000
+		fmt.Printf("=== window %d: [%d, %d) s ===\n", w, fromMs/1000, toMs/1000)
+
+		// Every other window gets an injected incident.
+		if w%2 == 1 {
+			as := fromMs + int64(windowSec)*1000/3
+			ae := as + int64(windowSec)*1000/4
+			anomalies[(w/2)%len(anomalies)](as, ae)
+			fmt.Printf("  (injected incident over [%d, %d) s)\n", as/1000, ae/1000)
+		}
+
+		// Streaming collection: instance → broker → aggregator.
+		coll := collect.NewCollector("pinsqld", fromMs, toMs, registry, store)
+		ch, cancel := broker.Subscribe("pinsqld", 4096)
+		done := collect.NewStreamAggregator(coll).Consume(ch)
+		secs, err := inst.Run(dbsim.RunOptions{
+			StartMs: fromMs,
+			EndMs:   toMs,
+			Source:  world.Source(fromMs, toMs, seed+int64(w)),
+			Sink:    broker.Sink("pinsqld"),
+		})
+		cancel()
+		<-done
+		if err != nil {
+			return err
+		}
+		coll.IngestMetrics(secs)
+		snap := coll.Snapshot()
+		store.Expire(toMs) // keep the log store within its TTL budget
+
+		// Round-the-clock detection.
+		phenomena := det.DetectPhenomena(map[string]timeseries.Series{
+			anomaly.MetricActiveSession: snap.ActiveSession,
+			anomaly.MetricCPUUsage:      snap.CPUUsage,
+			anomaly.MetricIOPSUsage:     snap.IOPSUsage,
+		}, anomaly.DefaultRules())
+		if len(phenomena) == 0 {
+			fmt.Printf("  no anomalies (mean session %.2f, cpu %.1f%%)\n\n",
+				snap.ActiveSession.Mean(), snap.CPUUsage.Mean())
+			continue
+		}
+
+		for _, ph := range phenomena {
+			fmt.Printf("  ANOMALY %s [%d, %d) s\n", ph.Rule, int(fromMs/1000)+ph.Start, int(fromMs/1000)+ph.End)
+			c := anomaly.NewCase(snap, ph)
+			d := core.Diagnose(c, queriesOf(coll, snap), core.DefaultConfig())
+			if len(d.RSQLs) == 0 {
+				fmt.Println("    no R-SQL pinpointed")
+				continue
+			}
+			top := d.RSQLs[0]
+			fmt.Printf("    R-SQL: %s (score %.2f, verified %v)\n", top.ID, top.Score, top.Verified)
+			if ts := snap.Template(top.ID); ts != nil {
+				fmt.Printf("    statement: %s\n", ts.Meta.Text)
+			}
+			sugg := mod.Suggest(c, []sqltemplate.ID{top.ID})
+			env := repair.Environment{
+				Throttler: inst,
+				Scaler:    inst,
+				SpecOf: func(id sqltemplate.ID) repair.Optimizable {
+					if spec := world.SpecByID(id); spec != nil {
+						return spec
+					}
+					return nil
+				},
+				AutoExecute: autoRepair,
+			}
+			for _, s := range mod.Execute(env, sugg) {
+				state := "suggested"
+				if s.Executed {
+					state = "EXECUTED"
+				}
+				fmt.Printf("    action %-9s %s (rule %s, value %.1f)\n", s.Action, state, s.Rule, s.Value)
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func queriesOf(coll *collect.Collector, snap *collect.Snapshot) session.Queries {
+	out := make(session.Queries)
+	recs := coll.Store().Scan(snap.Topic, snap.StartMs, snap.StartMs+int64(snap.Seconds)*1000)
+	for _, r := range recs {
+		id := coll.Registry().At(r.TemplateIdx).ID
+		out[id] = append(out[id], session.Obs{ArrivalMs: r.ArrivalMs, ResponseMs: r.ResponseMs})
+	}
+	return out
+}

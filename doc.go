@@ -1,0 +1,36 @@
+// Package pinsql is a from-scratch Go reproduction of PinSQL (Liu et al.,
+// ICDE 2022): an autonomous diagnosing system that pinpoints Root Cause
+// SQLs (R-SQLs) for performance anomalies in cloud databases, together
+// with every substrate the paper's evaluation depends on — a discrete-event
+// database-instance simulator, a microservice workload generator with
+// anomaly injection, a streaming collection pipeline, and a repairing
+// module.
+//
+// The package exposes the paper's pipeline as four composable stages:
+//
+//  1. Collection — a Collector aggregates the instance's query log into
+//     per-template metric series and archives raw records (§IV-A).
+//  2. Detection — a Detector recognizes anomalous phenomena on the
+//     performance metrics and assembles anomaly Cases (§IV-B).
+//  3. Diagnosis — Diagnose estimates each template's individual active
+//     session from the log (§IV-C), ranks High-impact SQLs (§V), and
+//     pinpoints R-SQLs via clustering, cumulative-threshold selection and
+//     history trend verification (§VI).
+//  4. Repair — a Repairer suggests and (optionally) executes throttling,
+//     query optimization, or autoscale actions on the R-SQLs (§VII).
+//
+// Quickstart:
+//
+//	world := pinsql.NewDemoWorld(1)
+//	world.InjectLockStorm(world.Services[2], "orders", 20, 600_000, 900_000)
+//	run, _ := pinsql.Simulate(world, pinsql.SimOptions{DurationSec: 1500, Seed: 7})
+//	for _, c := range run.DetectCases() {
+//	    report := run.Diagnose(c)
+//	    fmt.Println(report.RSQLs[0].ID) // the lock-storm UPDATE
+//	}
+//
+// This repository is a single-module research reproduction: the public
+// surface re-exports the implementation types from internal/ packages via
+// aliases. A production release would promote those packages out of
+// internal/; the API shape would not change.
+package pinsql

@@ -1,0 +1,3 @@
+module pinsql
+
+go 1.24

@@ -1,0 +1,213 @@
+package anomaly
+
+import (
+	"strings"
+	"testing"
+
+	"pinsql/internal/collect"
+	"pinsql/internal/timeseries"
+)
+
+// flatWithSpike builds a stable series with a spike of the given height
+// over [from, to).
+func flatWithSpike(n, from, to int, base, height float64) timeseries.Series {
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = base + float64(i%3)
+		if i >= from && i < to {
+			s[i] += height
+		}
+	}
+	return s
+}
+
+func TestDetectFeaturesSpike(t *testing.T) {
+	d := NewDetector(Config{})
+	s := flatWithSpike(300, 100, 120, 10, 200)
+	events := d.DetectFeatures(MetricActiveSession, s)
+	var spikes []Event
+	for _, ev := range events {
+		if ev.Feature == SpikeUp {
+			spikes = append(spikes, ev)
+		}
+	}
+	if len(spikes) != 1 {
+		t.Fatalf("spike events = %+v, want 1", spikes)
+	}
+	if spikes[0].Start != 100 || spikes[0].End != 120 {
+		t.Errorf("spike window = [%d,%d), want [100,120)", spikes[0].Start, spikes[0].End)
+	}
+	if spikes[0].Metric != MetricActiveSession {
+		t.Errorf("metric = %s", spikes[0].Metric)
+	}
+}
+
+func TestDetectFeaturesLevelShift(t *testing.T) {
+	d := NewDetector(Config{})
+	s := make(timeseries.Series, 400)
+	for i := range s {
+		if i < 200 {
+			s[i] = 10 + float64(i%2)
+		} else {
+			s[i] = 60 + float64(i%2)
+		}
+	}
+	events := d.DetectFeatures(MetricCPUUsage, s)
+	found := false
+	for _, ev := range events {
+		if ev.Feature == LevelShiftUp && ev.Start >= 180 && ev.Start <= 220 {
+			found = true
+			if ev.End != len(s) {
+				t.Errorf("unrecovered shift end = %d, want %d", ev.End, len(s))
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no level shift found in %+v", events)
+	}
+}
+
+func TestDetectFeaturesQuietSeries(t *testing.T) {
+	d := NewDetector(Config{})
+	s := flatWithSpike(200, 0, 0, 10, 0)
+	if events := d.DetectFeatures("m", s); len(events) != 0 {
+		t.Errorf("events on quiet series = %+v", events)
+	}
+}
+
+func TestDetectPhenomenaDefaultRules(t *testing.T) {
+	d := NewDetector(Config{})
+	metrics := map[string]timeseries.Series{
+		MetricActiveSession: flatWithSpike(600, 300, 330, 5, 100),
+		MetricCPUUsage:      flatWithSpike(600, 0, 0, 20, 0),
+		MetricIOPSUsage:     flatWithSpike(600, 0, 0, 30, 0),
+	}
+	ps := d.DetectPhenomena(metrics, DefaultRules())
+	if len(ps) != 1 {
+		t.Fatalf("phenomena = %+v, want 1", ps)
+	}
+	p := ps[0]
+	if p.Rule != "active_session_anomaly" {
+		t.Errorf("rule = %s", p.Rule)
+	}
+	if p.Start != 300 || p.End != 330 {
+		t.Errorf("window = [%d,%d), want [300,330)", p.Start, p.End)
+	}
+}
+
+func TestDetectPhenomenaMinDuration(t *testing.T) {
+	d := NewDetector(Config{MinDurationSec: 10})
+	metrics := map[string]timeseries.Series{
+		MetricActiveSession: flatWithSpike(300, 100, 104, 5, 100), // 4 s — too short
+	}
+	if ps := d.DetectPhenomena(metrics, DefaultRules()); len(ps) != 0 {
+		t.Errorf("short phenomenon not dropped: %+v", ps)
+	}
+}
+
+func TestDetectPhenomenaMerging(t *testing.T) {
+	d := NewDetector(Config{MergeGapSec: 60})
+	s := flatWithSpike(600, 100, 120, 5, 100)
+	for i := 150; i < 170; i++ {
+		s[i] += 100 // second spike 30 s after the first: should merge
+	}
+	metrics := map[string]timeseries.Series{MetricActiveSession: s}
+	ps := d.DetectPhenomena(metrics, DefaultRules())
+	if len(ps) != 1 {
+		t.Fatalf("phenomena = %+v, want 1 merged", ps)
+	}
+	// The merged phenomenon must cover both spikes; the exact start may
+	// land slightly early when the level-shift feature also fires.
+	if ps[0].Start > 100 || ps[0].Start < 80 || ps[0].End != 170 {
+		t.Errorf("merged window = [%d,%d), want ≈ [100,170)", ps[0].Start, ps[0].End)
+	}
+}
+
+func TestDetectPhenomenaNoMergeAcrossGap(t *testing.T) {
+	d := NewDetector(Config{MergeGapSec: 20})
+	s := flatWithSpike(600, 100, 120, 5, 100)
+	for i := 300; i < 320; i++ {
+		s[i] += 100 // 180 s later: distinct anomaly
+	}
+	metrics := map[string]timeseries.Series{MetricActiveSession: s}
+	ps := d.DetectPhenomena(metrics, DefaultRules())
+	if len(ps) != 2 {
+		t.Fatalf("phenomena = %+v, want 2", ps)
+	}
+}
+
+func TestMultiConditionRule(t *testing.T) {
+	d := NewDetector(Config{})
+	rule := Rule{
+		Name: "cpu_and_session",
+		Conditions: []Condition{
+			{Metric: MetricActiveSession, Features: []Feature{SpikeUp}},
+			{Metric: MetricCPUUsage, Features: []Feature{SpikeUp}},
+		},
+	}
+	// Overlapping spikes on both metrics → fires.
+	metrics := map[string]timeseries.Series{
+		MetricActiveSession: flatWithSpike(300, 100, 130, 5, 100),
+		MetricCPUUsage:      flatWithSpike(300, 110, 140, 20, 300),
+	}
+	ps := d.DetectPhenomena(metrics, []Rule{rule})
+	if len(ps) != 1 {
+		t.Fatalf("phenomena = %+v, want 1", ps)
+	}
+	if ps[0].Start != 100 || ps[0].End != 140 {
+		t.Errorf("window = [%d,%d), want union [100,140)", ps[0].Start, ps[0].End)
+	}
+	// CPU quiet → rule must not fire.
+	metrics[MetricCPUUsage] = flatWithSpike(300, 0, 0, 20, 0)
+	if ps := d.DetectPhenomena(metrics, []Rule{rule}); len(ps) != 0 {
+		t.Errorf("rule fired without second condition: %+v", ps)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := DefaultRules()[0]
+	s := r.String()
+	if !strings.Contains(s, "active_session.spike") {
+		t.Errorf("rule string = %q", s)
+	}
+}
+
+func TestFeatureStrings(t *testing.T) {
+	if SpikeUp.String() != "spike" || LevelShiftUp.String() != "levelshift" {
+		t.Error("feature names wrong")
+	}
+	if SpikeDown.String() != "spike_down" || LevelShiftDown.String() != "levelshift_down" {
+		t.Error("down feature names wrong")
+	}
+	if Feature(99).String() != "unknown" {
+		t.Error("unknown feature name wrong")
+	}
+}
+
+func TestNewCaseClampsWindow(t *testing.T) {
+	snap := &collect.Snapshot{Seconds: 100}
+	c := NewCase(snap, Phenomenon{Start: -5, End: 400})
+	if c.AS != 0 || c.AE != 100 {
+		t.Errorf("case window = [%d,%d), want [0,100)", c.AS, c.AE)
+	}
+}
+
+func TestEventAndPhenomenonDuration(t *testing.T) {
+	if (Event{Start: 3, End: 10}).Duration() != 7 {
+		t.Error("event duration wrong")
+	}
+	if (Phenomenon{Start: 3, End: 10}).Duration() != 7 {
+		t.Error("phenomenon duration wrong")
+	}
+}
+
+func TestDetectorDefaultsApplied(t *testing.T) {
+	d := NewDetector(Config{})
+	if d.cfg.SpikeZ != DefaultConfig().SpikeZ {
+		t.Error("default SpikeZ not applied")
+	}
+	d2 := NewDetector(Config{SpikeZ: 3})
+	if d2.cfg.SpikeZ != 3 {
+		t.Error("explicit SpikeZ overridden")
+	}
+}

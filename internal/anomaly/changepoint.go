@@ -1,0 +1,147 @@
+package anomaly
+
+import (
+	"math"
+
+	"pinsql/internal/timeseries"
+)
+
+// This file holds the additional detection methods the production system
+// integrates alongside the robust spike/level-shift features (§IV-B cites
+// "a variety of methods", including Pettitt's non-parametric change-point
+// test [28] and control-chart style detectors). They are exposed both as
+// standalone functions and as optional Detector features (Config.UseEWMA).
+
+// PettittResult is the outcome of Pettitt's change-point test.
+type PettittResult struct {
+	// At is the most probable change-point index: the split maximizing
+	// |U_t|.
+	At int
+	// K is max|U_t|.
+	K float64
+	// P is the approximate significance probability
+	// p ≈ 2·exp(−6K²/(n³+n²)); small p means a significant change point.
+	P float64
+}
+
+// Pettitt runs Pettitt's non-parametric change-point test on s. Series
+// longer than maxN samples are downsampled first (the test is O(n²));
+// maxN ≤ 0 selects 400. A zero-length or constant series returns P = 1.
+func Pettitt(s timeseries.Series, maxN int) PettittResult {
+	if maxN <= 0 {
+		maxN = 400
+	}
+	factor := 1
+	if len(s) > maxN {
+		factor = (len(s) + maxN - 1) / maxN
+		s = s.Downsample(factor)
+	}
+	n := len(s)
+	if n < 3 {
+		return PettittResult{P: 1}
+	}
+
+	// U_t = Σ_{i ≤ t} Σ_{j > t} sgn(x_j − x_i), computed incrementally:
+	// U_t = U_{t−1} + Σ_j sgn(x_j − x_t) over all j — standard identity
+	// U_t = U_{t-1} + V_t where V_t = Σ_{j=1..n} sgn(x_t_runs)…
+	// We use the direct O(n²) accumulation of V_t = Σ_j sgn(x_j − x_t),
+	// with U_t = U_{t−1} + V_t' where V_t' counts only j > t minus j ≤ t.
+	best := PettittResult{P: 1}
+	var u float64
+	for t := 0; t < n-1; t++ {
+		// Adding element t to the "left" side changes U by
+		// Σ_{j>t} sgn(x_j − x_t) − Σ_{i<t… } — recompute the marginal:
+		var v float64
+		for j := t + 1; j < n; j++ {
+			v += sign(s[j] - s[t])
+		}
+		for i := 0; i < t; i++ {
+			v -= sign(s[t] - s[i])
+		}
+		u += v
+		if k := math.Abs(u); k > best.K {
+			best.K = k
+			best.At = (t + 1) * factor
+		}
+	}
+	nf := float64(n)
+	best.P = math.Min(1, 2*math.Exp(-6*best.K*best.K/(nf*nf*nf+nf*nf)))
+	return best
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// EWMAOptions tunes the EWMA control-chart detector.
+type EWMAOptions struct {
+	// Lambda is the smoothing factor in (0, 1]; smaller reacts slower
+	// but detects smaller sustained shifts. Default 0.2.
+	Lambda float64
+	// L is the control-limit width in process standard deviations.
+	// Default 4.
+	L float64
+	// Warmup samples establish the baseline before alarms can fire.
+	// Default 30.
+	Warmup int
+}
+
+// DetectEWMA runs a one-sided-up EWMA control chart over s and returns
+// maximal alarm runs as events (feature SpikeUp — the chart reacts to both
+// spikes and sustained shifts, which is why production systems layer it
+// with the shape-specific detectors).
+func DetectEWMA(metric string, s timeseries.Series, opt EWMAOptions) []Event {
+	if opt.Lambda <= 0 || opt.Lambda > 1 {
+		opt.Lambda = 0.2
+	}
+	if opt.L <= 0 {
+		opt.L = 4
+	}
+	if opt.Warmup <= 0 {
+		opt.Warmup = 30
+	}
+	if len(s) <= opt.Warmup {
+		return nil
+	}
+
+	// Baseline mean/σ from the warmup, then updated only on in-control
+	// samples so the anomaly does not poison its own control limits.
+	base := s.Slice(0, opt.Warmup)
+	mean := base.Mean()
+	sigma := base.Std()
+	if sigma == 0 {
+		sigma = 1e-9
+	}
+
+	lam := opt.Lambda
+	z := mean
+	var events []Event
+	runStart := -1
+	for t := opt.Warmup; t < len(s); t++ {
+		z = lam*s[t] + (1-lam)*z
+		// Asymptotic control limit of the EWMA statistic.
+		limit := mean + opt.L*sigma*math.Sqrt(lam/(2-lam))
+		if z > limit {
+			if runStart < 0 {
+				runStart = t
+			}
+			continue
+		}
+		if runStart >= 0 {
+			events = append(events, Event{Metric: metric, Feature: SpikeUp, Start: runStart, End: t})
+			runStart = -1
+		}
+		// In control: let the baseline drift slowly with the process.
+		mean = 0.995*mean + 0.005*s[t]
+	}
+	if runStart >= 0 {
+		events = append(events, Event{Metric: metric, Feature: SpikeUp, Start: runStart, End: len(s)})
+	}
+	return events
+}

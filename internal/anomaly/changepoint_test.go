@@ -1,0 +1,156 @@
+package anomaly
+
+import (
+	"math/rand"
+	"testing"
+
+	"pinsql/internal/timeseries"
+)
+
+func TestPettittDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 300
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = 10 + rng.NormFloat64()
+		if i >= 180 {
+			s[i] += 8
+		}
+	}
+	res := Pettitt(s, 0)
+	if res.P > 0.01 {
+		t.Errorf("P = %v, want significant", res.P)
+	}
+	if res.At < 160 || res.At > 200 {
+		t.Errorf("change point at %d, want ≈ 180", res.At)
+	}
+}
+
+func TestPettittNoShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := make(timeseries.Series, 200)
+	for i := range s {
+		s[i] = 5 + rng.NormFloat64()
+	}
+	res := Pettitt(s, 0)
+	if res.P < 0.1 {
+		t.Errorf("P = %v on stationary noise, want insignificant", res.P)
+	}
+}
+
+func TestPettittDegenerate(t *testing.T) {
+	if res := Pettitt(timeseries.Series{}, 0); res.P != 1 {
+		t.Errorf("empty series P = %v", res.P)
+	}
+	if res := Pettitt(timeseries.Series{1, 1}, 0); res.P != 1 {
+		t.Errorf("short series P = %v", res.P)
+	}
+	flat := make(timeseries.Series, 100)
+	for i := range flat {
+		flat[i] = 3
+	}
+	if res := Pettitt(flat, 0); res.P < 0.5 {
+		t.Errorf("constant series P = %v", res.P)
+	}
+}
+
+func TestPettittDownsamplesLargeInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 5000
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = rng.NormFloat64()
+		if i >= 3000 {
+			s[i] += 5
+		}
+	}
+	res := Pettitt(s, 200)
+	if res.P > 0.01 {
+		t.Errorf("P = %v", res.P)
+	}
+	// The reported index is mapped back into original coordinates.
+	if res.At < 2500 || res.At > 3500 {
+		t.Errorf("change point at %d, want ≈ 3000", res.At)
+	}
+}
+
+func TestDetectEWMASustainedShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 400
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = 20 + rng.NormFloat64()
+		if i >= 200 && i < 300 {
+			s[i] += 6
+		}
+	}
+	events := DetectEWMA("m", s, EWMAOptions{})
+	if len(events) == 0 {
+		t.Fatal("no EWMA alarm on a 6σ sustained shift")
+	}
+	first := events[0]
+	if first.Start < 200 || first.Start > 230 {
+		t.Errorf("alarm starts at %d, want shortly after 200", first.Start)
+	}
+	if first.Metric != "m" || first.Feature != SpikeUp {
+		t.Errorf("event = %+v", first)
+	}
+}
+
+func TestDetectEWMAQuiet(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := make(timeseries.Series, 300)
+	for i := range s {
+		s[i] = 10 + rng.NormFloat64()
+	}
+	if events := DetectEWMA("m", s, EWMAOptions{}); len(events) != 0 {
+		t.Errorf("false alarms on stationary noise: %+v", events)
+	}
+}
+
+func TestDetectEWMAShortSeries(t *testing.T) {
+	if events := DetectEWMA("m", make(timeseries.Series, 10), EWMAOptions{Warmup: 30}); events != nil {
+		t.Errorf("events on sub-warmup series: %+v", events)
+	}
+}
+
+func TestDetectEWMAAlarmAtEnd(t *testing.T) {
+	s := make(timeseries.Series, 100)
+	for i := range s {
+		s[i] = 5 + 0.1*float64(i%3)
+		if i >= 80 {
+			s[i] = 50 // never recovers
+		}
+	}
+	events := DetectEWMA("m", s, EWMAOptions{})
+	if len(events) != 1 || events[0].End != 100 {
+		t.Errorf("open-ended alarm = %+v", events)
+	}
+}
+
+func TestDetectorWithEWMAEnabled(t *testing.T) {
+	d := NewDetector(Config{UseEWMA: true})
+	rng := rand.New(rand.NewSource(6))
+	s := make(timeseries.Series, 400)
+	for i := range s {
+		s[i] = 20 + rng.NormFloat64()
+		if i >= 200 && i < 320 {
+			s[i] += 5 // sustained small shift: EWMA territory
+		}
+	}
+	events := d.DetectFeatures("m", s)
+	found := false
+	for _, ev := range events {
+		if ev.Feature == SpikeUp && ev.Start >= 195 && ev.Start <= 240 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("EWMA-backed detector missed the sustained shift: %+v", events)
+	}
+	// Default config must not change behaviour.
+	plain := NewDetector(Config{})
+	if n := len(plain.DetectFeatures("m", s)); n > len(events) {
+		t.Errorf("default detector produced more events (%d) than EWMA-enabled (%d)", n, len(events))
+	}
+}

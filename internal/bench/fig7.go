@@ -1,0 +1,150 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"pinsql/internal/cases"
+	"pinsql/internal/core"
+	"pinsql/internal/timeseries"
+	"pinsql/internal/workload"
+)
+
+// Fig7Point is one scalability measurement.
+type Fig7Point struct {
+	Templates int     // templates in the case
+	PeriodSec int     // anomaly period length
+	TimeSec   float64 // diagnosis computing time, seconds
+}
+
+// Fig7 is the scalability study: computing time against template count and
+// against anomaly-period length, with fitted polynomial curves.
+type Fig7 struct {
+	ByTemplates []Fig7Point
+	ByPeriod    []Fig7Point
+	// TemplateFit / PeriodFit are degree-2 least-squares coefficients
+	// (c0 + c1·x + c2·x²) of the red-dot clouds, like the paper's fitted
+	// black curves.
+	TemplateFit []float64
+	PeriodFit   []float64
+}
+
+// RunFig7 sweeps the number of SQL templates and the anomaly period length
+// and measures the diagnosis computing time of each generated case.
+func RunFig7(seed int64, templateSweep []int, periodSweep []int) (*Fig7, error) {
+	if len(templateSweep) == 0 {
+		templateSweep = []int{500, 1000, 2000, 3000, 4500, 6000}
+	}
+	if len(periodSweep) == 0 {
+		periodSweep = []int{600, 1200, 2400, 3600, 4800, 6000}
+	}
+	out := &Fig7{}
+
+	// Sweep 1: templates (fixed moderate anomaly period).
+	for i, nt := range templateSweep {
+		opt := cases.DefaultOptions()
+		opt.Seed = seed + int64(i)
+		opt.TraceSec = 2400
+		opt.AnomalyStartSec = 1500
+		opt.AnomalyMinDurSec = 300
+		opt.AnomalyMaxDurSec = 300
+		opt.HistoryDays = []int{1}
+		// Filler templates to reach the requested cardinality; the
+		// default world carries ~23 of its own.
+		fill := nt - 23
+		if fill < 0 {
+			fill = 0
+		}
+		opt.FillerServices = fill / 25
+		opt.FillerSpecs = 25
+		lab, err := cases.GenerateOne(opt, int64(i), workload.KindBusinessSpike)
+		if err != nil {
+			return nil, err
+		}
+		d := core.Diagnose(lab.Case, cases.QueriesOf(lab.Collector, lab.Case.Snapshot), core.DefaultConfig())
+		out.ByTemplates = append(out.ByTemplates, Fig7Point{
+			Templates: len(lab.Case.Snapshot.Templates),
+			PeriodSec: lab.Case.AE - lab.Case.AS,
+			TimeSec:   d.Time.Total().Seconds(),
+		})
+	}
+
+	// Sweep 2: anomaly period length (fixed template count).
+	for i, period := range periodSweep {
+		opt := cases.DefaultOptions()
+		opt.Seed = seed + 100 + int64(i)
+		opt.TraceSec = period + 1900
+		opt.AnomalyStartSec = 1800
+		opt.AnomalyMinDurSec = period
+		opt.AnomalyMaxDurSec = period
+		opt.FillerServices = 6
+		opt.FillerSpecs = 10
+		opt.HistoryDays = []int{1}
+		lab, err := cases.GenerateOne(opt, int64(i), workload.KindBusinessSpike)
+		if err != nil {
+			return nil, err
+		}
+		d := core.Diagnose(lab.Case, cases.QueriesOf(lab.Collector, lab.Case.Snapshot), core.DefaultConfig())
+		out.ByPeriod = append(out.ByPeriod, Fig7Point{
+			Templates: len(lab.Case.Snapshot.Templates),
+			PeriodSec: lab.Case.AE - lab.Case.AS,
+			TimeSec:   d.Time.Total().Seconds(),
+		})
+	}
+
+	out.TemplateFit = fitPoints(out.ByTemplates, func(p Fig7Point) float64 { return float64(p.Templates) })
+	out.PeriodFit = fitPoints(out.ByPeriod, func(p Fig7Point) float64 { return float64(p.PeriodSec) })
+	return out, nil
+}
+
+func fitPoints(pts []Fig7Point, xOf func(Fig7Point) float64) []float64 {
+	if len(pts) < 3 {
+		return nil
+	}
+	x := make(timeseries.Series, len(pts))
+	y := make(timeseries.Series, len(pts))
+	for i, p := range pts {
+		x[i] = xOf(p)
+		y[i] = p.TimeSec
+	}
+	c, err := timeseries.PolyFit(x, y, 2)
+	if err != nil {
+		// Fall back to a linear fit when the sweep is too degenerate for
+		// a quadratic (e.g. repeated x values).
+		c, err = timeseries.PolyFit(x, y, 1)
+		if err != nil {
+			return nil
+		}
+	}
+	return c
+}
+
+// Format renders both panels.
+func (f *Fig7) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig. 7: scalability of PinSQL diagnosis\n")
+	b.WriteString("(a) computing time vs number of templates (period fixed)\n")
+	for _, p := range f.ByTemplates {
+		fmt.Fprintf(&b, "  templates=%5d  time=%.3fs\n", p.Templates, p.TimeSec)
+	}
+	if f.TemplateFit != nil {
+		fmt.Fprintf(&b, "  fit: t(n) = %.2e + %.2e·n + %.2e·n²\n",
+			f.TemplateFit[0], f.TemplateFit[1], coefOr0(f.TemplateFit, 2))
+	}
+	b.WriteString("(b) computing time vs anomaly period length (templates fixed)\n")
+	for _, p := range f.ByPeriod {
+		fmt.Fprintf(&b, "  period=%5ds  time=%.3fs\n", p.PeriodSec, p.TimeSec)
+	}
+	if f.PeriodFit != nil {
+		fmt.Fprintf(&b, "  fit: t(L) = %.2e + %.2e·L + %.2e·L²\n",
+			f.PeriodFit[0], f.PeriodFit[1], coefOr0(f.PeriodFit, 2))
+	}
+	return b.String()
+}
+
+func coefOr0(c []float64, i int) float64 {
+	if i < len(c) {
+		return c[i]
+	}
+	return 0
+}

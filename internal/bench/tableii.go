@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"pinsql/internal/cases"
+	"pinsql/internal/core"
+	"pinsql/internal/repair"
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/workload"
+)
+
+// TableIIRow aggregates one optimization-selection strategy.
+type TableIIRow struct {
+	Strategy  string
+	Optimized int
+	TresGain  float64 // mean % drop of the statement's mean response time
+	RowsGain  float64 // mean % drop of the statement's mean examined rows
+}
+
+// TableII is the long-term query-optimization impact study (§VIII-E): the
+// average metric gains of optimizing PinSQL-pinpointed R-SQLs versus
+// optimizing whatever a slow-SQL detector surfaces.
+type TableII struct {
+	Rows []TableIIRow
+}
+
+// RunTableII generates `count` anomaly cases (alternating poor-SQL and
+// lock-storm families, the two where optimization applies), and for each
+// measures the gain of optimizing (a) PinSQL's top R-SQL and (b) the
+// slow-SQL detector's pick (the template with the highest mean response
+// time). The gain is measured by replaying the same deterministic workload
+// with the optimization applied and comparing the statement's own mean
+// response time and examined rows over the anomaly window.
+func RunTableII(seed int64, count int) (*TableII, error) {
+	if count <= 0 {
+		count = 8
+	}
+	type acc struct {
+		n          int
+		tres, rows float64
+	}
+	var rsqlAcc, slowAcc acc
+
+	kinds := []workload.AnomalyKind{workload.KindPoorSQL, workload.KindLockStorm}
+	opt := cases.DefaultOptions()
+	opt.Seed = seed
+	opt.TraceSec = 1500
+	opt.AnomalyStartSec = 800
+	opt.AnomalyMinDurSec = 300
+	opt.AnomalyMaxDurSec = 400
+	opt.FillerServices = 1
+	opt.FillerSpecs = 4
+	opt.HistoryDays = []int{1}
+
+	for i := 0; i < count; i++ {
+		kind := kinds[i%len(kinds)]
+		lab, err := cases.GenerateOne(opt, int64(i), kind)
+		if err != nil {
+			return nil, err
+		}
+		snap := lab.Case.Snapshot
+		as, ae := lab.Case.AS, lab.Case.AE
+
+		// Strategy (a): PinSQL's top R-SQL.
+		d := core.Diagnose(lab.Case, cases.QueriesOf(lab.Collector, snap), core.DefaultConfig())
+		if len(d.RSQLs) > 0 {
+			tres, rows, err := optimizationGain(opt, int64(i), kind, d.RSQLs[0].ID, as, ae)
+			if err != nil {
+				return nil, err
+			}
+			if tres != 0 || rows != 0 {
+				rsqlAcc.n++
+				rsqlAcc.tres += tres
+				rsqlAcc.rows += rows
+			}
+		}
+
+		// Strategy (b): the slow-SQL detector — highest mean response
+		// time among templates with meaningful traffic.
+		slowID := slowestTemplate(lab, as, ae)
+		if slowID != "" {
+			tres, rows, err := optimizationGain(opt, int64(i), kind, slowID, as, ae)
+			if err != nil {
+				return nil, err
+			}
+			if tres != 0 || rows != 0 {
+				slowAcc.n++
+				slowAcc.tres += tres
+				slowAcc.rows += rows
+			}
+		}
+	}
+
+	out := &TableII{}
+	for _, row := range []struct {
+		name string
+		a    acc
+	}{{"R-SQLs", rsqlAcc}, {"Slow SQLs", slowAcc}} {
+		r := TableIIRow{Strategy: row.name, Optimized: row.a.n}
+		if row.a.n > 0 {
+			r.TresGain = row.a.tres / float64(row.a.n)
+			r.RowsGain = row.a.rows / float64(row.a.n)
+		}
+		out.Rows = append(out.Rows, r)
+	}
+	return out, nil
+}
+
+// slowestTemplate models the slow-SQL detector stream of earlier studies:
+// a slow log ranks statements by how many slow executions (RT above the
+// long_query_time threshold, 1 s here) they produced in the window. Blocked
+// victims, with their high traffic, dominate such logs even though their
+// slowness is somebody else's lock.
+func slowestTemplate(lab *cases.Labeled, as, ae int) sqltemplate.ID {
+	snap := lab.Case.Snapshot
+	fromMs := snap.StartMs + int64(as)*1000
+	toMs := snap.StartMs + int64(ae)*1000
+	recs := lab.Collector.Store().Scan(snap.Topic, fromMs, toMs)
+	slow := make(map[int32]int)
+	for _, r := range recs {
+		if r.ResponseMs > 1000 {
+			slow[r.TemplateIdx]++
+		}
+	}
+	var best sqltemplate.ID
+	bestN := 0
+	for idx, n := range slow {
+		if n > bestN || (n == bestN && best != "" && lab.Collector.Registry().At(idx).ID < best) {
+			bestN = n
+			best = lab.Collector.Registry().At(idx).ID
+		}
+	}
+	return best
+}
+
+// optimizationGain replays the case's deterministic workload twice — as-is
+// and with the target statement optimized — and returns the percentage
+// drops of its mean response time and mean examined rows over [as, ae).
+func optimizationGain(opt cases.Options, idx int64, kind workload.AnomalyKind, target sqltemplate.ID, as, ae int) (tresGain, rowsGain float64, err error) {
+	before, err := replayCase(opt, idx, kind, target, false)
+	if err != nil {
+		return 0, 0, err
+	}
+	after, err := replayCase(opt, idx, kind, target, true)
+	if err != nil {
+		return 0, 0, err
+	}
+	bRT, bRows := templateWindowMeans(before, target, as, ae)
+	aRT, aRows := templateWindowMeans(after, target, as, ae)
+	if bRT <= 0 || bRows <= 0 {
+		return 0, 0, nil
+	}
+	return 100 * (bRT - aRT) / bRT, 100 * (bRows - aRows) / bRows, nil
+}
+
+// replayCase regenerates the identical case world and simulation, applying
+// the optimizer to the target statement first when optimize is set.
+func replayCase(opt cases.Options, idx int64, kind workload.AnomalyKind, target sqltemplate.ID, optimize bool) (*cases.Labeled, error) {
+	if !optimize {
+		return cases.GenerateOne(opt, idx, kind)
+	}
+	o := repair.DefaultOptimizer()
+	return cases.GenerateOneWith(opt, idx, kind, func(w *workload.World) {
+		if spec := w.SpecByID(target); spec != nil {
+			spec.ApplyOptimization(o.RowsFactor, o.TimeFactor)
+		}
+	})
+}
+
+func templateWindowMeans(lab *cases.Labeled, id sqltemplate.ID, as, ae int) (meanRT, meanRows float64) {
+	ts := lab.Case.Snapshot.Template(id)
+	if ts == nil {
+		return 0, 0
+	}
+	n := ts.Count.Slice(as, ae).Sum()
+	if n == 0 {
+		return 0, 0
+	}
+	return ts.SumRT.Slice(as, ae).Sum() / n, ts.SumRows.Slice(as, ae).Sum() / n
+}
+
+// Format renders the table.
+func (t *TableII) Format() string {
+	var b strings.Builder
+	b.WriteString("Table II: averaged gains of approved query optimizations\n")
+	fmt.Fprintf(&b, "%-10s | %10s | %10s | %16s\n", "Strategy", "#Optimized", "tres Gain", "#examined_rows Gain")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-10s | %10d | %9.2f%% | %15.2f%%\n", r.Strategy, r.Optimized, r.TresGain, r.RowsGain)
+	}
+	return b.String()
+}

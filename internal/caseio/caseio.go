@@ -1,0 +1,231 @@
+// Package caseio serializes anomaly cases to and from JSON, so diagnosis
+// can run offline: `pinsql-gen` exports cases from the simulator (or a real
+// collector could export production windows), and `pinsql-diagnose` loads
+// them. The format carries everything Definition II.2 requires — the
+// performance metrics M, the per-template series Q, the anomaly window
+// [as, ae) — plus the optional raw query observations the session estimator
+// wants and the history windows the R-SQL verifier wants.
+package caseio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pinsql/internal/anomaly"
+	"pinsql/internal/collect"
+	"pinsql/internal/session"
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+)
+
+// File is the serialized case document.
+type File struct {
+	// Version guards against future format changes.
+	Version int    `json:"version"`
+	Name    string `json:"name,omitempty"`
+
+	StartMs int64 `json:"start_ms"`
+	Seconds int   `json:"seconds"`
+
+	Anomaly Window `json:"anomaly"`
+	Rule    string `json:"rule,omitempty"`
+
+	ActiveSession []float64 `json:"active_session"`
+	CPUUsage      []float64 `json:"cpu_usage,omitempty"`
+	IOPSUsage     []float64 `json:"iops_usage,omitempty"`
+	MemUsage      []float64 `json:"mem_usage,omitempty"`
+	RowLockWaits  []float64 `json:"row_lock_waits,omitempty"`
+	MDLWaits      []float64 `json:"mdl_waits,omitempty"`
+
+	Templates []Template `json:"templates"`
+	Queries   []Query    `json:"queries,omitempty"`
+	History   []History  `json:"history,omitempty"`
+
+	// Truth carries ground-truth labels when the case came from the
+	// synthetic corpus; absent for production exports.
+	Truth *Truth `json:"truth,omitempty"`
+}
+
+// Window is a half-open [Start, End) second range.
+type Window struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Template is one SQL template's aggregated series.
+type Template struct {
+	ID      string    `json:"id"`
+	SQL     string    `json:"sql,omitempty"`
+	Table   string    `json:"table,omitempty"`
+	Count   []float64 `json:"count"`
+	SumRT   []float64 `json:"sum_rt"`
+	SumRows []float64 `json:"sum_rows,omitempty"`
+}
+
+// Query is one raw query observation.
+type Query struct {
+	Template   string  `json:"template"`
+	ArrivalMs  int64   `json:"arrival_ms"`
+	ResponseMs float64 `json:"response_ms"`
+}
+
+// History is one Nd-days-ago window of #execution series.
+type History struct {
+	DaysAgo int                  `json:"days_ago"`
+	Counts  map[string][]float64 `json:"counts"`
+}
+
+// Truth carries corpus labels.
+type Truth struct {
+	RSQLs []string `json:"rsqls"`
+	HSQLs []string `json:"hsqls,omitempty"`
+	Kind  string   `json:"kind,omitempty"`
+}
+
+// CurrentVersion of the format.
+const CurrentVersion = 1
+
+// FromCase converts an in-memory case (plus optional raw queries) into the
+// serializable document.
+func FromCase(c *anomaly.Case, queries session.Queries) *File {
+	snap := c.Snapshot
+	f := &File{
+		Version:       CurrentVersion,
+		StartMs:       snap.StartMs,
+		Seconds:       snap.Seconds,
+		Anomaly:       Window{Start: c.AS, End: c.AE},
+		Rule:          c.Phenomenon.Rule,
+		ActiveSession: snap.ActiveSession,
+		CPUUsage:      snap.CPUUsage,
+		IOPSUsage:     snap.IOPSUsage,
+		MemUsage:      snap.MemUsage,
+		RowLockWaits:  snap.RowLockWaits,
+		MDLWaits:      snap.MDLWaits,
+	}
+	for _, ts := range snap.Templates {
+		f.Templates = append(f.Templates, Template{
+			ID:      string(ts.Meta.ID),
+			SQL:     ts.Meta.Text,
+			Table:   ts.Meta.Table,
+			Count:   ts.Count,
+			SumRT:   ts.SumRT,
+			SumRows: ts.SumRows,
+		})
+	}
+	for id, obs := range queries {
+		for _, o := range obs {
+			f.Queries = append(f.Queries, Query{
+				Template:   string(id),
+				ArrivalMs:  o.ArrivalMs,
+				ResponseMs: o.ResponseMs,
+			})
+		}
+	}
+	for _, hw := range c.History {
+		h := History{DaysAgo: hw.DaysAgo, Counts: make(map[string][]float64, len(hw.Counts))}
+		for id, s := range hw.Counts {
+			h.Counts[string(id)] = s
+		}
+		f.History = append(f.History, h)
+	}
+	return f
+}
+
+// ToCase reconstructs the in-memory case and raw queries from a document.
+func (f *File) ToCase() (*anomaly.Case, session.Queries, error) {
+	if f.Version != CurrentVersion {
+		return nil, nil, fmt.Errorf("caseio: unsupported version %d", f.Version)
+	}
+	if f.Seconds <= 0 {
+		return nil, nil, fmt.Errorf("caseio: seconds must be positive")
+	}
+	if len(f.Templates) == 0 {
+		return nil, nil, fmt.Errorf("caseio: no templates")
+	}
+	snap := &collect.Snapshot{
+		Topic:         f.Name,
+		StartMs:       f.StartMs,
+		Seconds:       f.Seconds,
+		ActiveSession: pad(f.ActiveSession, f.Seconds),
+		CPUUsage:      pad(f.CPUUsage, f.Seconds),
+		IOPSUsage:     pad(f.IOPSUsage, f.Seconds),
+		MemUsage:      pad(f.MemUsage, f.Seconds),
+		RowLockWaits:  pad(f.RowLockWaits, f.Seconds),
+		MDLWaits:      pad(f.MDLWaits, f.Seconds),
+		AvgSession:    make(timeseries.Series, f.Seconds),
+		QPS:           make(timeseries.Series, f.Seconds),
+	}
+	for i, t := range f.Templates {
+		id := sqltemplate.ID(t.ID)
+		if id == "" {
+			if t.SQL == "" {
+				return nil, nil, fmt.Errorf("caseio: template %d has neither id nor sql", i)
+			}
+			id = sqltemplate.New(t.SQL).ID
+		}
+		snap.Templates = append(snap.Templates, &collect.TemplateSeries{
+			Meta: collect.TemplateMeta{
+				Index: int32(i),
+				ID:    id,
+				Text:  t.SQL,
+				Table: t.Table,
+			},
+			Count:     pad(t.Count, f.Seconds),
+			SumRT:     pad(t.SumRT, f.Seconds),
+			SumRows:   pad(t.SumRows, f.Seconds),
+			Throttled: make(timeseries.Series, f.Seconds),
+		})
+	}
+	rule := f.Rule
+	if rule == "" {
+		rule = "from_file"
+	}
+	c := anomaly.NewCase(snap, anomaly.Phenomenon{
+		Rule:  rule,
+		Start: f.Anomaly.Start,
+		End:   f.Anomaly.End,
+	})
+	for _, h := range f.History {
+		hw := anomaly.HistoryWindow{
+			DaysAgo: h.DaysAgo,
+			Counts:  make(map[sqltemplate.ID]timeseries.Series, len(h.Counts)),
+		}
+		for id, counts := range h.Counts {
+			hw.Counts[sqltemplate.ID(id)] = pad(counts, f.Seconds)
+		}
+		c.History = append(c.History, hw)
+	}
+	queries := make(session.Queries)
+	for _, q := range f.Queries {
+		id := sqltemplate.ID(q.Template)
+		queries[id] = append(queries[id], session.Obs{ArrivalMs: q.ArrivalMs, ResponseMs: q.ResponseMs})
+	}
+	return c, queries, nil
+}
+
+// Write encodes the document to w (indented JSON).
+func (f *File) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(f)
+}
+
+// Read decodes a document from r.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("caseio: decoding: %w", err)
+	}
+	if f.Version == 0 {
+		f.Version = CurrentVersion // tolerate hand-written files
+	}
+	return &f, nil
+}
+
+func pad(v []float64, n int) timeseries.Series {
+	out := make(timeseries.Series, n)
+	copy(out, v)
+	return out
+}

@@ -1,0 +1,192 @@
+package caseio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pinsql/internal/anomaly"
+	"pinsql/internal/collect"
+	"pinsql/internal/session"
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+)
+
+func sampleCase() (*anomaly.Case, session.Queries) {
+	n := 60
+	snap := &collect.Snapshot{
+		Topic:         "sample",
+		Seconds:       n,
+		ActiveSession: ramp(n, 2),
+		CPUUsage:      ramp(n, 1),
+		IOPSUsage:     make(timeseries.Series, n),
+		MemUsage:      make(timeseries.Series, n),
+		RowLockWaits:  make(timeseries.Series, n),
+		MDLWaits:      make(timeseries.Series, n),
+		AvgSession:    make(timeseries.Series, n),
+		QPS:           make(timeseries.Series, n),
+	}
+	snap.Templates = []*collect.TemplateSeries{
+		{
+			Meta:    collect.TemplateMeta{Index: 0, ID: "AAAA0001", Text: "SELECT * FROM t WHERE id = ?", Table: "t"},
+			Count:   ramp(n, 3),
+			SumRT:   ramp(n, 4),
+			SumRows: ramp(n, 5),
+		},
+		{
+			Meta:    collect.TemplateMeta{Index: 1, ID: "BBBB0002", Text: "UPDATE t SET x = ?", Table: "t"},
+			Count:   ramp(n, 6),
+			SumRT:   ramp(n, 7),
+			SumRows: ramp(n, 8),
+		},
+	}
+	c := anomaly.NewCase(snap, anomaly.Phenomenon{Rule: "active_session_anomaly", Start: 30, End: 50})
+	c.History = []anomaly.HistoryWindow{{
+		DaysAgo: 1,
+		Counts: map[sqltemplate.ID]timeseries.Series{
+			"AAAA0001": ramp(n, 9),
+		},
+	}}
+	queries := session.Queries{
+		"AAAA0001": {{ArrivalMs: 100, ResponseMs: 25}, {ArrivalMs: 2000, ResponseMs: 10}},
+		"BBBB0002": {{ArrivalMs: 500, ResponseMs: 90}},
+	}
+	return c, queries
+}
+
+func ramp(n int, k float64) timeseries.Series {
+	s := make(timeseries.Series, n)
+	for i := range s {
+		s[i] = k * float64(i%7)
+	}
+	return s
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, queries := sampleCase()
+	f := FromCase(c, queries)
+
+	var buf bytes.Buffer
+	if err := f.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, q2, err := loaded.ToCase()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if c2.AS != c.AS || c2.AE != c.AE {
+		t.Errorf("window [%d,%d) vs [%d,%d)", c2.AS, c2.AE, c.AS, c.AE)
+	}
+	if c2.Phenomenon.Rule != c.Phenomenon.Rule {
+		t.Errorf("rule %q vs %q", c2.Phenomenon.Rule, c.Phenomenon.Rule)
+	}
+	if len(c2.Snapshot.Templates) != 2 {
+		t.Fatalf("templates = %d", len(c2.Snapshot.Templates))
+	}
+	for i, ts := range c.Snapshot.Templates {
+		got := c2.Snapshot.Template(ts.Meta.ID)
+		if got == nil {
+			t.Fatalf("template %s missing", ts.Meta.ID)
+		}
+		if got.Meta.Text != ts.Meta.Text || got.Meta.Table != ts.Meta.Table {
+			t.Errorf("template %d meta mismatch: %+v", i, got.Meta)
+		}
+		for sec := range ts.Count {
+			if got.Count[sec] != ts.Count[sec] || got.SumRT[sec] != ts.SumRT[sec] {
+				t.Fatalf("template %d series mismatch at %d", i, sec)
+			}
+		}
+	}
+	for sec := range c.Snapshot.ActiveSession {
+		if c2.Snapshot.ActiveSession[sec] != c.Snapshot.ActiveSession[sec] {
+			t.Fatalf("active session mismatch at %d", sec)
+		}
+	}
+	if len(c2.History) != 1 || c2.History[0].DaysAgo != 1 {
+		t.Fatalf("history = %+v", c2.History)
+	}
+	if len(q2) != 2 || len(q2["AAAA0001"]) != 2 || q2["BBBB0002"][0].ResponseMs != 90 {
+		t.Errorf("queries = %+v", q2)
+	}
+}
+
+func TestToCaseValidation(t *testing.T) {
+	bad := &File{Version: CurrentVersion, Seconds: 0}
+	if _, _, err := bad.ToCase(); err == nil {
+		t.Error("zero seconds accepted")
+	}
+	bad = &File{Version: 99, Seconds: 10, Templates: []Template{{ID: "X"}}}
+	if _, _, err := bad.ToCase(); err == nil {
+		t.Error("future version accepted")
+	}
+	bad = &File{Version: CurrentVersion, Seconds: 10}
+	if _, _, err := bad.ToCase(); err == nil {
+		t.Error("no templates accepted")
+	}
+	bad = &File{Version: CurrentVersion, Seconds: 10, Templates: []Template{{}}}
+	if _, _, err := bad.ToCase(); err == nil {
+		t.Error("template without id or sql accepted")
+	}
+}
+
+func TestToCaseDigestsSQLWhenNoID(t *testing.T) {
+	f := &File{
+		Version: CurrentVersion,
+		Seconds: 5,
+		Templates: []Template{
+			{SQL: "SELECT * FROM x WHERE id = 42", Count: []float64{1}},
+		},
+	}
+	c, _, err := f.ToCase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sqltemplate.New("SELECT * FROM x WHERE id = 42").ID
+	if c.Snapshot.Templates[0].Meta.ID != want {
+		t.Errorf("digested ID = %s, want %s", c.Snapshot.Templates[0].Meta.ID, want)
+	}
+}
+
+func TestReadToleratesMissingVersion(t *testing.T) {
+	doc := `{"seconds": 3, "templates": [{"id":"A","count":[1,2,3],"sum_rt":[1,2,3]}], "anomaly": {"start":0,"end":2}, "active_session":[1,2,3]}`
+	f, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != CurrentVersion {
+		t.Errorf("version = %d", f.Version)
+	}
+	if _, _, err := f.ToCase(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSeriesPadding(t *testing.T) {
+	f := &File{
+		Version:       CurrentVersion,
+		Seconds:       10,
+		ActiveSession: []float64{1, 2}, // shorter than Seconds
+		Templates:     []Template{{ID: "A", Count: []float64{5}}},
+	}
+	c, _, err := f.ToCase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Snapshot.ActiveSession) != 10 || c.Snapshot.ActiveSession[1] != 2 || c.Snapshot.ActiveSession[5] != 0 {
+		t.Errorf("padded series = %v", c.Snapshot.ActiveSession)
+	}
+	if len(c.Snapshot.Template("A").Count) != 10 {
+		t.Error("template series not padded")
+	}
+}

@@ -1,0 +1,168 @@
+package cases
+
+import (
+	"testing"
+
+	"pinsql/internal/workload"
+)
+
+func smallOptions() Options {
+	opt := DefaultOptions()
+	opt.TraceSec = 1200
+	opt.AnomalyStartSec = 700
+	opt.AnomalyMinDurSec = 180
+	opt.AnomalyMaxDurSec = 300
+	opt.FillerServices = 1
+	opt.FillerSpecs = 3
+	opt.HistoryDays = []int{1}
+	return opt
+}
+
+func TestGenerateOneEachFamily(t *testing.T) {
+	kinds := []workload.AnomalyKind{
+		workload.KindBusinessSpike,
+		workload.KindPoorSQL,
+		workload.KindLockStorm,
+		workload.KindMDL,
+	}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			lab, err := GenerateOne(smallOptions(), 3, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(lab.RSQLs) == 0 {
+				t.Error("no ground-truth R-SQLs")
+			}
+			if len(lab.HSQLs) == 0 {
+				t.Error("no ground-truth H-SQLs")
+			}
+			if lab.Case.Snapshot == nil || lab.Case.Snapshot.Seconds != 1200 {
+				t.Errorf("snapshot seconds = %d", lab.Case.Snapshot.Seconds)
+			}
+			if lab.Case.AE <= lab.Case.AS {
+				t.Errorf("anomaly window [%d,%d) malformed", lab.Case.AS, lab.Case.AE)
+			}
+			if len(lab.Case.History) != 1 || lab.Case.History[0].DaysAgo != 1 {
+				t.Errorf("history windows = %+v", lab.Case.History)
+			}
+			if !lab.Detected {
+				t.Errorf("%s anomaly not detected by perception layers", kind)
+			}
+		})
+	}
+}
+
+func TestGroundTruthRSQLIsNewInHistory(t *testing.T) {
+	lab, err := GenerateOne(smallOptions(), 5, workload.KindPoorSQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range lab.RSQLs {
+		if _, ok := lab.Case.History[0].Counts[id]; ok {
+			t.Errorf("injected template %s exists in history (should be new)", id)
+		}
+	}
+	// Base templates must exist in history.
+	base := lab.World.Services[0].Specs[0].ID()
+	if _, ok := lab.Case.History[0].Counts[base]; !ok {
+		t.Error("base template missing from history window")
+	}
+}
+
+func TestHSQLLabelsIncludeAffectedTemplates(t *testing.T) {
+	lab, err := GenerateOne(smallOptions(), 7, workload.KindMDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An MDL freeze on "orders" must label at least one orders-touching
+	// template (a frozen victim) as H-SQL.
+	found := false
+	for id := range lab.HSQLs {
+		if ts := lab.Case.Snapshot.Template(id); ts != nil && ts.Meta.Table == "orders" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Errorf("no orders-table victim among H-SQLs: %v", lab.HSQLs)
+	}
+}
+
+func TestStreamRoundRobin(t *testing.T) {
+	opt := smallOptions()
+	opt.Count = 4
+	var kinds []workload.AnomalyKind
+	err := Stream(opt, func(c *Labeled) error {
+		kinds = append(kinds, c.Kind)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []workload.AnomalyKind{
+		workload.KindBusinessSpike,
+		workload.KindPoorSQL,
+		workload.KindLockStorm,
+		workload.KindMDL,
+	}
+	if len(kinds) != 4 {
+		t.Fatalf("cases = %d", len(kinds))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("case %d kind = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+}
+
+func TestStreamZeroCount(t *testing.T) {
+	if err := Stream(Options{}, func(*Labeled) error { t.Fatal("must not call"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := GenerateOne(smallOptions(), 2, workload.KindLockStorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateOne(smallOptions(), 2, workload.KindLockStorm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Case.AS != b.Case.AS || a.Case.AE != b.Case.AE {
+		t.Errorf("windows differ: [%d,%d) vs [%d,%d)", a.Case.AS, a.Case.AE, b.Case.AS, b.Case.AE)
+	}
+	for id := range a.RSQLs {
+		if !b.RSQLs[id] {
+			t.Errorf("R-SQL truth differs: %s", id)
+		}
+	}
+	sa := a.Case.Snapshot.ActiveSession
+	sb := b.Case.Snapshot.ActiveSession
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("active session differs at %d: %v vs %v", i, sa[i], sb[i])
+		}
+	}
+}
+
+func TestQueriesOfCoversLog(t *testing.T) {
+	lab, err := GenerateOne(smallOptions(), 9, workload.KindBusinessSpike)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := QueriesOf(lab.Collector, lab.Case.Snapshot)
+	var total int
+	for _, obs := range queries {
+		total += len(obs)
+	}
+	var logged float64
+	for _, ts := range lab.Case.Snapshot.Templates {
+		logged += ts.Count.Sum()
+	}
+	if float64(total) != logged {
+		t.Errorf("queries = %d, logged executions = %v", total, logged)
+	}
+}

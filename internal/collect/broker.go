@@ -1,0 +1,128 @@
+package collect
+
+import (
+	"sync"
+
+	"pinsql/internal/dbsim"
+)
+
+// Broker is the in-process substitute for the Kafka layer of §IV-A: topics
+// fan out query-log records to any number of subscribers. Delivery is
+// lossy under backpressure (a full subscriber buffer drops the record and
+// counts it), which matches the monitoring pipeline's priorities — never
+// slow the producer, i.e. the database instance.
+type Broker struct {
+	mu     sync.RWMutex
+	subs   map[string][]*subscription
+	closed bool
+}
+
+type subscription struct {
+	ch      chan dbsim.LogRecord
+	dropped int64
+	closed  bool
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{subs: make(map[string][]*subscription)}
+}
+
+// Subscribe registers a consumer on a topic with the given buffer size and
+// returns the record channel plus a cancel function. Cancel closes the
+// channel after detaching it from the topic.
+func (b *Broker) Subscribe(topic string, buffer int) (<-chan dbsim.LogRecord, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	sub := &subscription{ch: make(chan dbsim.LogRecord, buffer)}
+	b.mu.Lock()
+	b.subs[topic] = append(b.subs[topic], sub)
+	b.mu.Unlock()
+
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		subs := b.subs[topic]
+		for i, s := range subs {
+			if s == sub {
+				b.subs[topic] = append(subs[:i], subs[i+1:]...)
+				break
+			}
+		}
+		closeSub(sub)
+	}
+	return sub.ch, cancel
+}
+
+// closeSub closes a subscription's channel exactly once. Callers must hold
+// b.mu, which is what makes the once-ness safe.
+func closeSub(sub *subscription) {
+	if !sub.closed {
+		sub.closed = true
+		close(sub.ch)
+	}
+}
+
+// Publish delivers a record to every subscriber of the topic, dropping it
+// for subscribers whose buffers are full.
+func (b *Broker) Publish(topic string, rec dbsim.LogRecord) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		return
+	}
+	for _, sub := range b.subs[topic] {
+		select {
+		case sub.ch <- rec:
+		default:
+			sub.dropped++
+		}
+	}
+}
+
+// Sink returns a dbsim.LogSink publishing to the topic.
+func (b *Broker) Sink(topic string) dbsim.LogSink {
+	return func(rec dbsim.LogRecord) { b.Publish(topic, rec) }
+}
+
+// Close detaches and closes every subscription; subsequent publishes are
+// no-ops.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for topic, subs := range b.subs {
+		for _, sub := range subs {
+			closeSub(sub)
+		}
+		delete(b.subs, topic)
+	}
+}
+
+// StreamAggregator is the Flink substitute: a goroutine that drains a
+// broker subscription into a Collector.
+type StreamAggregator struct {
+	collector *Collector
+}
+
+// NewStreamAggregator wraps a collector.
+func NewStreamAggregator(c *Collector) *StreamAggregator {
+	return &StreamAggregator{collector: c}
+}
+
+// Consume starts draining ch into the collector and returns a channel that
+// closes when ch does.
+func (a *StreamAggregator) Consume(ch <-chan dbsim.LogRecord) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rec := range ch {
+			a.collector.Ingest(rec)
+		}
+	}()
+	return done
+}

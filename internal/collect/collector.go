@@ -1,0 +1,241 @@
+package collect
+
+import (
+	"sync"
+
+	"pinsql/internal/dbsim"
+	"pinsql/internal/logstore"
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+)
+
+// TemplateSeries is the aggregated view of one SQL template over the
+// collection window: per-second #execution, total response time and total
+// examined rows, produced by the sum/count aggregation of §IV-A.
+type TemplateSeries struct {
+	Meta TemplateMeta
+
+	Count     timeseries.Series // #execution per second
+	SumRT     timeseries.Series // Σ tres per second, milliseconds
+	SumRows   timeseries.Series // Σ #examined_rows per second
+	Throttled timeseries.Series // statements rejected by a throttle rule
+}
+
+// MeanRT returns the average response time per executed statement over the
+// whole window, in milliseconds.
+func (ts *TemplateSeries) MeanRT() float64 {
+	n := ts.Count.Sum()
+	if n == 0 {
+		return 0
+	}
+	return ts.SumRT.Sum() / n
+}
+
+// MeanRows returns the average examined rows per executed statement.
+func (ts *TemplateSeries) MeanRows() float64 {
+	n := ts.Count.Sum()
+	if n == 0 {
+		return 0
+	}
+	return ts.SumRows.Sum() / n
+}
+
+// Snapshot is the assembled data of one collection window: everything the
+// diagnosis pipeline consumes.
+type Snapshot struct {
+	Topic   string
+	StartMs int64
+	Seconds int
+
+	Templates []*TemplateSeries
+
+	// Instance performance metrics (Definition II.4), one sample/second.
+	ActiveSession timeseries.Series // SHOW STATUS samples — the headline metric
+	AvgSession    timeseries.Series
+	CPUUsage      timeseries.Series
+	IOPSUsage     timeseries.Series
+	MemUsage      timeseries.Series
+	QPS           timeseries.Series
+	RowLockWaits  timeseries.Series
+	MDLWaits      timeseries.Series
+}
+
+// Template returns the series for a template ID, or nil.
+func (s *Snapshot) Template(id sqltemplate.ID) *TemplateSeries {
+	for _, ts := range s.Templates {
+		if ts.Meta.ID == id {
+			return ts
+		}
+	}
+	return nil
+}
+
+// Collector ingests the raw query-log stream and instance metrics of one
+// database instance over a fixed window, producing per-template aggregates
+// and archiving compact records in the log store.
+type Collector struct {
+	mu       sync.Mutex
+	topic    string
+	startMs  int64
+	seconds  int
+	registry *Registry
+	store    *logstore.Store
+
+	templates map[int32]*TemplateSeries
+
+	metrics []dbsim.SecondMetrics
+}
+
+// NewCollector creates a collector for the window [startMs, endMs) on the
+// given topic (instance name). registry and store may be shared across
+// collectors; nil values create private ones.
+func NewCollector(topic string, startMs, endMs int64, registry *Registry, store *logstore.Store) *Collector {
+	if registry == nil {
+		registry = NewRegistry()
+	}
+	if store == nil {
+		store = logstore.New(0)
+	}
+	return &Collector{
+		topic:     topic,
+		startMs:   startMs,
+		seconds:   int((endMs - startMs + 999) / 1000),
+		registry:  registry,
+		store:     store,
+		templates: make(map[int32]*TemplateSeries),
+	}
+}
+
+// Registry returns the template registry backing this collector.
+func (c *Collector) Registry() *Registry { return c.registry }
+
+// Store returns the log store backing this collector.
+func (c *Collector) Store() *logstore.Store { return c.store }
+
+// Sink returns a dbsim.LogSink that feeds this collector; plug it directly
+// into a simulation run.
+func (c *Collector) Sink() dbsim.LogSink { return c.Ingest }
+
+// Ingest consumes one query-log record.
+func (c *Collector) Ingest(rec dbsim.LogRecord) {
+	if rec.ArrivalMs < c.startMs {
+		return // integer division would round -1..-999 ms up to second 0
+	}
+	sec := int((rec.ArrivalMs - c.startMs) / 1000)
+	if sec >= c.seconds {
+		return
+	}
+	meta := c.registry.Intern(rec)
+
+	c.mu.Lock()
+	ts, ok := c.templates[meta.Index]
+	if !ok {
+		ts = &TemplateSeries{
+			Meta:      meta,
+			Count:     make(timeseries.Series, c.seconds),
+			SumRT:     make(timeseries.Series, c.seconds),
+			SumRows:   make(timeseries.Series, c.seconds),
+			Throttled: make(timeseries.Series, c.seconds),
+		}
+		c.templates[meta.Index] = ts
+	}
+	if rec.Throttled {
+		ts.Throttled[sec]++
+		c.mu.Unlock()
+		return
+	}
+	ts.Count[sec]++
+	ts.SumRT[sec] += rec.ResponseMs
+	ts.SumRows[sec] += float64(rec.ExaminedRows)
+	c.mu.Unlock()
+
+	// Raw record for the log store (session estimation needs per-query
+	// start and response times, §IV-C). Loose append: records are emitted
+	// at completion, so lock-delayed statements arrive far out of arrival
+	// order.
+	c.store.AppendLoose(c.topic, logstore.Record{
+		TemplateIdx:  meta.Index,
+		ArrivalMs:    rec.ArrivalMs,
+		ResponseMs:   rec.ResponseMs,
+		ExaminedRows: rec.ExaminedRows,
+	})
+}
+
+// IngestMetrics stores the instance's per-second performance metrics. The
+// rows must cover the collector's window in order.
+func (c *Collector) IngestMetrics(rows []dbsim.SecondMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = append(c.metrics, rows...)
+}
+
+// Snapshot assembles the aggregated window view. It is safe to call while
+// ingestion continues; the returned series are copies.
+func (c *Collector) Snapshot() *Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	snap := &Snapshot{
+		Topic:         c.topic,
+		StartMs:       c.startMs,
+		Seconds:       c.seconds,
+		ActiveSession: make(timeseries.Series, c.seconds),
+		AvgSession:    make(timeseries.Series, c.seconds),
+		CPUUsage:      make(timeseries.Series, c.seconds),
+		IOPSUsage:     make(timeseries.Series, c.seconds),
+		MemUsage:      make(timeseries.Series, c.seconds),
+		QPS:           make(timeseries.Series, c.seconds),
+		RowLockWaits:  make(timeseries.Series, c.seconds),
+		MDLWaits:      make(timeseries.Series, c.seconds),
+	}
+	for i, m := range c.metrics {
+		if i >= c.seconds {
+			break
+		}
+		snap.ActiveSession[i] = m.ActiveSession
+		snap.AvgSession[i] = m.AvgActiveSession
+		snap.CPUUsage[i] = m.CPUUsage
+		snap.IOPSUsage[i] = m.IOPSUsage
+		snap.MemUsage[i] = m.MemUsage
+		snap.QPS[i] = float64(m.QPS)
+		snap.RowLockWaits[i] = float64(m.RowLockWaits)
+		snap.MDLWaits[i] = float64(m.MDLWaits)
+	}
+
+	snap.Templates = make([]*TemplateSeries, 0, len(c.templates))
+	for _, ts := range c.templates {
+		snap.Templates = append(snap.Templates, &TemplateSeries{
+			Meta:      ts.Meta,
+			Count:     ts.Count.Clone(),
+			SumRT:     ts.SumRT.Clone(),
+			SumRows:   ts.SumRows.Clone(),
+			Throttled: ts.Throttled.Clone(),
+		})
+	}
+	// Deterministic order: by registry index.
+	sortTemplates(snap.Templates)
+	return snap
+}
+
+// QueriesOf returns the raw per-query records of one template inside
+// [fromMs, toMs), for the session estimator.
+func (c *Collector) QueriesOf(idx int32, fromMs, toMs int64) []logstore.Record {
+	all := c.store.Scan(c.topic, fromMs, toMs)
+	out := all[:0]
+	for _, r := range all {
+		if r.TemplateIdx == idx {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func sortTemplates(ts []*TemplateSeries) {
+	// Insertion sort: template counts per snapshot are moderate and the
+	// input is usually almost sorted (registry order of first arrival).
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j-1].Meta.Index > ts[j].Meta.Index; j-- {
+			ts[j-1], ts[j] = ts[j], ts[j-1]
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package collect is the data-collection and pre-processing half of
+// PinSQL's first module (§IV-A): it subscribes to the query-log stream of a
+// database instance (the Kafka substitute is the in-process Broker), keeps
+// compact per-query records in a TTL'd log store, and aggregates them into
+// per-template per-second metric series (the Flink substitute is the
+// Collector/StreamAggregator), alongside the instance performance metrics.
+package collect
+
+import (
+	"sync"
+
+	"pinsql/internal/dbsim"
+	"pinsql/internal/sqltemplate"
+)
+
+// TemplateMeta is the registry entry for one SQL template.
+type TemplateMeta struct {
+	Index int32          // dense index used by compact log records
+	ID    sqltemplate.ID // digest of the normalized statement
+	Text  string         // normalized statement
+	Table string
+	Kind  dbsim.QueryKind
+}
+
+// Registry interns SQL templates: structurally identical statements map to
+// one TemplateMeta. It is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	byID    map[sqltemplate.ID]int32
+	entries []TemplateMeta
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[sqltemplate.ID]int32)}
+}
+
+// Intern returns the registry entry for the record's template, creating it
+// on first sight. The record's TemplateID is trusted when present (the
+// workload generator pre-digests statements); otherwise the SQL text is
+// normalized here.
+func (r *Registry) Intern(rec dbsim.LogRecord) TemplateMeta {
+	id := sqltemplate.ID(rec.TemplateID)
+	var text string
+	if id == "" {
+		tpl := sqltemplate.New(rec.SQL)
+		id, text = tpl.ID, tpl.Text
+	}
+
+	r.mu.RLock()
+	idx, ok := r.byID[id]
+	r.mu.RUnlock()
+	if ok {
+		return r.entries[idx]
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if idx, ok := r.byID[id]; ok {
+		return r.entries[idx]
+	}
+	if text == "" {
+		text = sqltemplate.Normalize(rec.SQL)
+	}
+	meta := TemplateMeta{
+		Index: int32(len(r.entries)),
+		ID:    id,
+		Text:  text,
+		Table: rec.Table,
+		Kind:  rec.Kind,
+	}
+	r.entries = append(r.entries, meta)
+	r.byID[id] = meta.Index
+	return meta
+}
+
+// Lookup returns the entry for a template ID.
+func (r *Registry) Lookup(id sqltemplate.ID) (TemplateMeta, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	idx, ok := r.byID[id]
+	if !ok {
+		return TemplateMeta{}, false
+	}
+	return r.entries[idx], true
+}
+
+// At returns the entry with the given dense index.
+func (r *Registry) At(idx int32) TemplateMeta {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.entries[idx]
+}
+
+// Len returns the number of interned templates.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

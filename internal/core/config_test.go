@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"pinsql/internal/anomaly"
+	"pinsql/internal/collect"
+	"pinsql/internal/session"
+	"pinsql/internal/timeseries"
+)
+
+func TestConfigDefaultsApplied(t *testing.T) {
+	got := (Config{}).withDefaults()
+	def := DefaultConfig()
+	if got.Buckets != def.Buckets || got.SmoothKs != def.SmoothKs ||
+		got.Tau != def.Tau || got.TauC != def.TauC || got.Kc != def.Kc ||
+		got.TukeyK != def.TukeyK {
+		t.Errorf("defaults not applied: %+v", got)
+	}
+	// Explicit values survive.
+	custom := (Config{Buckets: 3, Tau: 0.5}).withDefaults()
+	if custom.Buckets != 3 || custom.Tau != 0.5 {
+		t.Errorf("explicit values overridden: %+v", custom)
+	}
+	// Ablation switches default to off (full PinSQL).
+	if def.NoEstimateSession || def.NoTrendLevel || def.NoCumulativeThreshold {
+		t.Error("default config must be the full pipeline")
+	}
+	if !def.IncludeMetricTempNodes {
+		t.Error("metric temp nodes should be on by default")
+	}
+}
+
+// syntheticCase builds a tiny in-memory case without any simulation: one
+// culprit template stepping up inside the window, one stable template.
+func syntheticCase() (*anomaly.Case, session.Queries) {
+	n := 240
+	as, ae := 120, 180
+	inst := make(timeseries.Series, n)
+	culpritCount := make(timeseries.Series, n)
+	stableCount := make(timeseries.Series, n)
+	culpritRT := make(timeseries.Series, n)
+	stableRT := make(timeseries.Series, n)
+	queries := session.Queries{}
+	for i := 0; i < n; i++ {
+		inst[i] = 1
+		stableCount[i] = 10
+		stableRT[i] = 100
+		if i >= as && i < ae {
+			inst[i] = 12
+			culpritCount[i] = 8
+			culpritRT[i] = 8 * 1200
+		}
+	}
+	for i := as; i < ae; i++ {
+		for k := 0; k < 8; k++ {
+			queries["CULPRIT"] = append(queries["CULPRIT"], session.Obs{
+				ArrivalMs:  int64(i*1000 + k*120),
+				ResponseMs: 1200,
+			})
+		}
+		for k := 0; k < 10; k++ {
+			queries["STABLE"] = append(queries["STABLE"], session.Obs{
+				ArrivalMs:  int64(i*1000 + k*100),
+				ResponseMs: 10,
+			})
+		}
+	}
+	snap := &collect.Snapshot{
+		Seconds:       n,
+		ActiveSession: inst,
+		CPUUsage:      make(timeseries.Series, n),
+		IOPSUsage:     make(timeseries.Series, n),
+		RowLockWaits:  make(timeseries.Series, n),
+		MDLWaits:      make(timeseries.Series, n),
+		Templates: []*collect.TemplateSeries{
+			{Meta: collect.TemplateMeta{Index: 0, ID: "CULPRIT"}, Count: culpritCount, SumRT: culpritRT, SumRows: culpritCount.Clone()},
+			{Meta: collect.TemplateMeta{Index: 1, ID: "STABLE"}, Count: stableCount, SumRT: stableRT, SumRows: stableCount.Clone()},
+		},
+	}
+	c := anomaly.NewCase(snap, anomaly.Phenomenon{Rule: "active_session_anomaly", Start: as, End: ae})
+	return c, queries
+}
+
+func TestDiagnoseSyntheticCulprit(t *testing.T) {
+	c, queries := syntheticCase()
+	d := Diagnose(c, queries, DefaultConfig())
+	if len(d.HSQLs) != 2 || d.HSQLs[0].ID != "CULPRIT" {
+		t.Errorf("H ranking = %+v", d.HSQLs)
+	}
+	if len(d.RSQLs) == 0 || d.RSQLs[0].ID != "CULPRIT" {
+		t.Errorf("R ranking = %+v", d.RSQLs)
+	}
+}
+
+func TestDiagnoseWithoutMetricTempNodes(t *testing.T) {
+	c, queries := syntheticCase()
+	cfg := DefaultConfig()
+	cfg.IncludeMetricTempNodes = false
+	d := Diagnose(c, queries, cfg)
+	if len(d.RSQLs) == 0 || d.RSQLs[0].ID != "CULPRIT" {
+		t.Errorf("R ranking without temp nodes = %+v", d.RSQLs)
+	}
+}
+
+func TestDiagnoseZeroQueryTemplates(t *testing.T) {
+	// A template present in the snapshot but absent from the query log
+	// must still get a (zero) session row and not crash anything.
+	c, queries := syntheticCase()
+	delete(queries, "STABLE")
+	d := Diagnose(c, queries, DefaultConfig())
+	if len(d.HSQLs) != 2 {
+		t.Fatalf("H ranking lost a template: %+v", d.HSQLs)
+	}
+}
+
+func TestIDAccessors(t *testing.T) {
+	c, queries := syntheticCase()
+	d := Diagnose(c, queries, DefaultConfig())
+	if len(d.HSQLIDs()) != len(d.HSQLs) || len(d.RSQLIDs()) != len(d.RSQLs) {
+		t.Error("accessor lengths differ")
+	}
+	if d.HSQLIDs()[0] != d.HSQLs[0].ID {
+		t.Error("HSQLIDs order differs")
+	}
+}
+
+func TestTimingTotal(t *testing.T) {
+	tm := Timing{EstimateSession: 1, RankHSQL: 2, ClusterFilter: 3, VerifyRank: 4}
+	if tm.Total() != 10 {
+		t.Errorf("total = %v", tm.Total())
+	}
+}

@@ -1,0 +1,226 @@
+// Package core is PinSQL's diagnosis pipeline — the paper's primary
+// contribution assembled end-to-end (§III): given an anomaly case, it
+// estimates every template's individual active session from the query log
+// (§IV-C), ranks High-impact SQLs by the fused multi-level score (§V), and
+// pinpoints Root Cause SQLs through clustering, cumulative-threshold
+// selection and history trend verification (§VI).
+//
+// Every ablation of Fig. 6 is a switch on Config, so the experiment
+// harness runs the identical pipeline with one component replaced.
+package core
+
+import (
+	"time"
+
+	"pinsql/internal/anomaly"
+	"pinsql/internal/impact"
+	"pinsql/internal/rootcause"
+	"pinsql/internal/session"
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+)
+
+// Config carries the full pipeline configuration. Zero value fields fall
+// back to the paper's defaults (§VIII-A: δs = 30 min, ks = 30, τ = 0.8,
+// Kc = 5, τc = 0.95, K = 10 buckets).
+type Config struct {
+	Buckets  int     // session estimation buckets K
+	SmoothKs float64 // sigmoid smooth factor ks
+	Tau      float64 // clustering threshold τ
+	TauC     float64 // cumulative threshold τc
+	Kc       int     // max clusters Kc
+	TukeyK   float64 // history verification Tukey multiplier
+
+	// Ablation switches (Fig. 6). All false means full PinSQL.
+	NoEstimateSession      bool // use total response time instead of estimated sessions
+	NoTrendLevel           bool
+	NoScaleLevel           bool
+	NoScaleTrendLevel      bool
+	NoWeightedFinalScore   bool
+	NoCumulativeThreshold  bool
+	NoHistoryVerification  bool
+	NoDirectCauseRanking   bool // rank clusters by Top-RT instead of impact
+	IncludeMetricTempNodes bool // add performance metrics as clustering temp nodes
+}
+
+// DefaultConfig returns the paper's default parameters with metric temp
+// nodes enabled.
+func DefaultConfig() Config {
+	return Config{
+		Buckets:                session.DefaultBuckets,
+		SmoothKs:               impact.DefaultSmoothKs,
+		Tau:                    rootcause.DefaultTau,
+		TauC:                   rootcause.DefaultTauC,
+		Kc:                     rootcause.DefaultKc,
+		TukeyK:                 rootcause.DefaultTukeyK,
+		IncludeMetricTempNodes: true,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	def := DefaultConfig()
+	if c.Buckets <= 0 {
+		c.Buckets = def.Buckets
+	}
+	if c.SmoothKs <= 0 {
+		c.SmoothKs = def.SmoothKs
+	}
+	if c.Tau <= 0 {
+		c.Tau = def.Tau
+	}
+	if c.TauC <= 0 {
+		c.TauC = def.TauC
+	}
+	if c.Kc <= 0 {
+		c.Kc = def.Kc
+	}
+	if c.TukeyK <= 0 {
+		c.TukeyK = def.TukeyK
+	}
+	return c
+}
+
+// Timing reports where diagnosis time went, matching the paper's §VIII-B
+// breakdown (estimation, H-SQL ranking, clustering+filtering, history
+// verification).
+type Timing struct {
+	EstimateSession time.Duration
+	RankHSQL        time.Duration
+	ClusterFilter   time.Duration
+	VerifyRank      time.Duration
+}
+
+// Total returns the end-to-end diagnosis time.
+func (t Timing) Total() time.Duration {
+	return t.EstimateSession + t.RankHSQL + t.ClusterFilter + t.VerifyRank
+}
+
+// Diagnosis is the pipeline output: both ranked lists of Definition II.5
+// plus intermediate artifacts for the harness and the repair module.
+type Diagnosis struct {
+	HSQLs []impact.Score        // ranked H-SQL list
+	RSQLs []rootcause.Candidate // ranked R-SQL list
+	Root  *rootcause.Result     // full R-SQL module output
+	Est   *session.Estimate     // individual active sessions
+	Time  Timing
+}
+
+// HSQLIDs returns the ranked H-SQL template IDs.
+func (d *Diagnosis) HSQLIDs() []sqltemplate.ID {
+	out := make([]sqltemplate.ID, len(d.HSQLs))
+	for i, s := range d.HSQLs {
+		out[i] = s.ID
+	}
+	return out
+}
+
+// RSQLIDs returns the ranked R-SQL template IDs.
+func (d *Diagnosis) RSQLIDs() []sqltemplate.ID {
+	out := make([]sqltemplate.ID, len(d.RSQLs))
+	for i, c := range d.RSQLs {
+		out[i] = c.ID
+	}
+	return out
+}
+
+// Diagnose runs the full pipeline on an anomaly case. queries holds the
+// raw per-query observations of the case window (from the log store); it
+// is required unless NoEstimateSession is set.
+func Diagnose(c *anomaly.Case, queries session.Queries, cfg Config) *Diagnosis {
+	cfg = cfg.withDefaults()
+	snap := c.Snapshot
+	d := &Diagnosis{}
+
+	// Stage 1: individual active session estimation (§IV-C).
+	start := time.Now()
+	var sessions map[sqltemplate.ID]timeseries.Series
+	if cfg.NoEstimateSession {
+		// Ablation: aggregated response time as the session proxy.
+		sessions = make(map[sqltemplate.ID]timeseries.Series, len(snap.Templates))
+		for _, ts := range snap.Templates {
+			s := make(timeseries.Series, len(ts.SumRT))
+			for i, v := range ts.SumRT {
+				s[i] = v / 1000
+			}
+			sessions[ts.Meta.ID] = s
+		}
+	} else {
+		est := session.EstimateBuckets(queries, snap.ActiveSession, snap.StartMs, snap.Seconds, cfg.Buckets)
+		d.Est = est
+		sessions = est.PerTemplate
+		// Templates with zero logged queries still deserve a (zero) row.
+		for _, ts := range snap.Templates {
+			if _, ok := sessions[ts.Meta.ID]; !ok {
+				sessions[ts.Meta.ID] = make(timeseries.Series, snap.Seconds)
+			}
+		}
+	}
+	d.Time.EstimateSession = time.Since(start)
+
+	// Stage 2: H-SQL identification (§V).
+	start = time.Now()
+	iopt := impact.Options{
+		SmoothKs:      cfg.SmoothKs,
+		UseTrend:      !cfg.NoTrendLevel,
+		UseScale:      !cfg.NoScaleLevel,
+		UseScaleTrend: !cfg.NoScaleTrendLevel,
+		WeightedScore: !cfg.NoWeightedFinalScore,
+	}
+	d.HSQLs = impact.Rank(sessions, snap.ActiveSession, c.AS, c.AE, iopt)
+	d.Time.RankHSQL = time.Since(start)
+
+	// Stage 3: R-SQL identification (§VI).
+	impactOf := make(map[sqltemplate.ID]float64, len(d.HSQLs))
+	for _, s := range d.HSQLs {
+		impactOf[s.ID] = s.Impact
+	}
+	templates := make([]rootcause.Template, 0, len(snap.Templates))
+	for _, ts := range snap.Templates {
+		score := impactOf[ts.Meta.ID]
+		if cfg.NoDirectCauseRanking {
+			// Ablation: the best Top-SQL baseline (Top-RT) replaces the
+			// H-SQL impact for cluster ranking.
+			score = ts.SumRT.Slice(c.AS, c.AE).Sum()
+		}
+		templates = append(templates, rootcause.Template{
+			ID:      ts.Meta.ID,
+			Exec:    ts.Count,
+			Session: sessions[ts.Meta.ID],
+			Impact:  score,
+		})
+	}
+	var metricNodes map[string]timeseries.Series
+	if cfg.IncludeMetricTempNodes {
+		metricNodes = map[string]timeseries.Series{
+			anomaly.MetricCPUUsage:     snap.CPUUsage,
+			anomaly.MetricIOPSUsage:    snap.IOPSUsage,
+			anomaly.MetricRowLockWaits: snap.RowLockWaits,
+			anomaly.MetricMDLWaits:     snap.MDLWaits,
+		}
+	}
+	history := make([]rootcause.HistoryWindow, 0, len(c.History))
+	for _, hw := range c.History {
+		history = append(history, rootcause.HistoryWindow{DaysAgo: hw.DaysAgo, Counts: hw.Counts})
+	}
+	ropt := rootcause.Options{
+		Tau:                    cfg.Tau,
+		TauC:                   cfg.TauC,
+		Kc:                     cfg.Kc,
+		TukeyK:                 cfg.TukeyK,
+		UseCumulativeThreshold: !cfg.NoCumulativeThreshold,
+		UseHistoryVerification: !cfg.NoHistoryVerification,
+	}
+	in := rootcause.Input{
+		Templates:   templates,
+		Metrics:     metricNodes,
+		InstSession: snap.ActiveSession,
+		AS:          c.AS,
+		AE:          c.AE,
+		History:     history,
+	}
+	d.Root = rootcause.Identify(in, ropt)
+	d.RSQLs = d.Root.Ranked
+	d.Time.ClusterFilter = d.Root.ClusterDur
+	d.Time.VerifyRank = d.Root.VerifyDur
+	return d
+}

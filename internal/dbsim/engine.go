@@ -1,0 +1,645 @@
+package dbsim
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+)
+
+// Source supplies open-loop arrivals in non-decreasing ArrivalMs order.
+type Source interface {
+	// Peek returns the arrival time of the next query, or math.MaxInt64
+	// when the source is exhausted.
+	Peek() int64
+	// Pop removes and returns the next query. It must only be called when
+	// Peek() < math.MaxInt64.
+	Pop() *Query
+}
+
+// SliceSource adapts a pre-sorted slice of queries into a Source.
+type SliceSource struct {
+	queries []*Query
+	next    int
+}
+
+// NewSliceSource wraps queries, which must be sorted by ArrivalMs.
+func NewSliceSource(queries []*Query) *SliceSource {
+	return &SliceSource{queries: queries}
+}
+
+// Peek implements Source.
+func (s *SliceSource) Peek() int64 {
+	if s.next >= len(s.queries) {
+		return math.MaxInt64
+	}
+	return s.queries[s.next].ArrivalMs
+}
+
+// Pop implements Source.
+func (s *SliceSource) Pop() *Query {
+	q := s.queries[s.next]
+	s.next++
+	return q
+}
+
+// RunOptions configures one simulation run.
+type RunOptions struct {
+	StartMs int64 // inclusive virtual start
+	EndMs   int64 // exclusive virtual end; queries still in flight are dropped
+	Source  Source
+	// OnComplete, if non-nil, is invoked for every completed query and may
+	// return a follow-up query (closed-loop stress testing). The returned
+	// query's ArrivalMs must be ≥ the completion time.
+	OnComplete func(finished *Query, nowMs int64) *Query
+	// Sink receives the query-log record of every finished statement.
+	Sink LogSink
+}
+
+// blockEntry snapshots one blocking episode for the timeout FIFO.
+type blockEntry struct {
+	aq    *activeQuery
+	since float64
+}
+
+// activeQuery is the engine's in-flight statement state.
+type activeQuery struct {
+	q            *Query
+	demand       float64 // remaining service demand expressed as finish virtual time
+	finishV      float64 // admission virtual time + demand
+	blockedSince float64 // ms; > 0 while waiting on a lock
+	lockWaitMs   float64
+	tbl          *table
+}
+
+// runHeap orders running statements by finish virtual time.
+type runHeap []*activeQuery
+
+func (h runHeap) Len() int            { return len(h) }
+func (h runHeap) Less(i, j int) bool  { return h[i].finishV < h[j].finishV }
+func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(*activeQuery)) }
+func (h *runHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	aq := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return aq
+}
+
+// arrivalHeap orders internally generated (closed-loop) arrivals.
+type arrivalHeap []*Query
+
+func (h arrivalHeap) Len() int            { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool  { return h[i].ArrivalMs < h[j].ArrivalMs }
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(*Query)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	q := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return q
+}
+
+// engine holds one run's mutable state.
+type engine struct {
+	in   *Instance
+	opts RunOptions
+
+	now  float64 // virtual milliseconds
+	curV float64 // processor-sharing virtual time
+
+	running  runHeap
+	internal arrivalHeap // closed-loop arrivals
+	blocked  int         // statements waiting on row or metadata locks
+	// blockedFIFO tracks blocked statements in blocking order for the
+	// lock wait timeout; entries are lazily skipped when stale (the
+	// statement was woken, completed, or re-blocked since).
+	blockedFIFO []blockEntry
+
+	seconds []SecondMetrics
+	startMs int64
+
+	// Per-second accumulators.
+	cpuWorkMs    float64
+	sessionInt   float64 // ∫ activeSessions dt over the current second
+	ioOps        float64
+	completed    int
+	rowWaits     int
+	mdlWaits     int
+	lockTimeouts int
+	curSecond    int64
+
+	// SHOW STATUS sampling.
+	sampleTime   float64
+	sampleOffset int
+	sampleTaken  bool
+
+	// Throttle admission counts for the current second.
+	throttleCount map[string]int
+}
+
+var errNoSource = errors.New("dbsim: RunOptions.Source is required")
+
+// Run executes the simulation over [StartMs, EndMs) and returns one metric
+// row per virtual second.
+func (in *Instance) Run(opts RunOptions) ([]SecondMetrics, error) {
+	if opts.Source == nil {
+		return nil, errNoSource
+	}
+	if opts.EndMs <= opts.StartMs {
+		return nil, errors.New("dbsim: EndMs must exceed StartMs")
+	}
+	totalSeconds := (opts.EndMs - opts.StartMs + 999) / 1000
+	e := &engine{
+		in:            in,
+		opts:          opts,
+		now:           float64(opts.StartMs),
+		startMs:       opts.StartMs,
+		seconds:       make([]SecondMetrics, 0, totalSeconds),
+		curSecond:     0,
+		throttleCount: make(map[string]int),
+	}
+	e.scheduleSample()
+
+	endMs := float64(opts.EndMs)
+	for {
+		ta := e.nextArrivalTime()
+		td := e.nextDepartureTime()
+		tt := e.nextLockTimeout()
+		tnext := math.Min(math.Min(ta, td), tt)
+		if tnext >= endMs {
+			e.advance(endMs)
+			break
+		}
+		e.advance(tnext)
+		switch {
+		case tt <= td && tt <= ta:
+			e.timeoutFront()
+		case td <= ta:
+			e.completeMin()
+		default:
+			e.admit(e.popArrival())
+		}
+	}
+	// Close a trailing partial second, if any (a run ending exactly on a
+	// second boundary has already been flushed by advance).
+	if e.now > float64(e.startMs+e.curSecond*1000) {
+		e.flushSecond()
+	}
+	// Queries still in flight are dropped with the run; their lock state
+	// must go with them, or a later Run on the same instance would face
+	// phantom holders and demands that nobody will ever release.
+	for _, tbl := range in.tables {
+		tbl.rowLocks = make(map[int]*activeQuery)
+		tbl.demanded = make(map[int]int)
+		tbl.rowWaiters = nil
+		tbl.mdlHolder = nil
+		tbl.mdlPending = nil
+		tbl.mdlWaiters = nil
+		tbl.inFlight = 0
+	}
+	return e.seconds, nil
+}
+
+func (e *engine) nextArrivalTime() float64 {
+	t := e.opts.Source.Peek()
+	if len(e.internal) > 0 && e.internal[0].ArrivalMs < t {
+		t = e.internal[0].ArrivalMs
+	}
+	if t == math.MaxInt64 {
+		return math.Inf(1)
+	}
+	return float64(t)
+}
+
+func (e *engine) popArrival() *Query {
+	ts := e.opts.Source.Peek()
+	if len(e.internal) > 0 && e.internal[0].ArrivalMs < ts {
+		return heap.Pop(&e.internal).(*Query)
+	}
+	return e.opts.Source.Pop()
+}
+
+// cpuRate returns the per-statement service rate under processor sharing:
+// each running statement uses at most one core; beyond saturation the cores
+// are shared equally.
+func (e *engine) cpuRate() float64 {
+	n := len(e.running)
+	if n == 0 {
+		return 0
+	}
+	rate := e.in.cores / float64(n)
+	if rate > 1 {
+		rate = 1
+	}
+	return rate
+}
+
+func (e *engine) nextDepartureTime() float64 {
+	if len(e.running) == 0 {
+		return math.Inf(1)
+	}
+	rate := e.cpuRate()
+	return e.now + (e.running[0].finishV-e.curV)/rate
+}
+
+// advance moves virtual time to `to`, accruing per-second integrals and
+// emitting SHOW STATUS samples crossed along the way.
+func (e *engine) advance(to float64) {
+	if to <= e.now {
+		return
+	}
+	rate := e.cpuRate()
+	nRunning := float64(len(e.running))
+	sessions := nRunning + float64(e.blocked)
+	cpuPerMs := nRunning * rate // total CPU-ms consumed per wall ms
+	if cpuPerMs > e.in.cores {
+		cpuPerMs = e.in.cores
+	}
+
+	for e.now < to {
+		secondEnd := float64(e.startMs + (e.curSecond+1)*1000)
+		step := math.Min(to, secondEnd)
+
+		// SHOW STATUS sample inside this span?
+		if !e.sampleTaken && e.sampleTime <= step && e.sampleTime >= e.now {
+			e.recordSample(sessions)
+		}
+
+		dt := step - e.now
+		e.cpuWorkMs += cpuPerMs * dt
+		e.sessionInt += sessions * dt
+		e.curV += rate * dt
+		e.now = step
+
+		if e.now == secondEnd {
+			e.flushSecond()
+		}
+	}
+}
+
+// scheduleSample picks the hidden sub-second offset at which SHOW STATUS
+// observes the active session count for the current second (Fig. 3).
+func (e *engine) scheduleSample() {
+	e.sampleOffset = e.in.rng.Intn(1000)
+	e.sampleTime = float64(e.startMs+e.curSecond*1000) + float64(e.sampleOffset)
+	e.sampleTaken = false
+}
+
+func (e *engine) recordSample(sessions float64) {
+	e.ensureSecondSlot()
+	row := &e.seconds[e.curSecond]
+	row.ActiveSession = sessions
+	row.SampleOffsetMs = e.sampleOffset
+	e.sampleTaken = true
+}
+
+func (e *engine) ensureSecondSlot() {
+	for int64(len(e.seconds)) <= e.curSecond {
+		e.seconds = append(e.seconds, SecondMetrics{Second: int64(len(e.seconds))})
+	}
+}
+
+// flushSecond finalizes the accumulators for the current second.
+func (e *engine) flushSecond() {
+	e.ensureSecondSlot()
+	if !e.sampleTaken {
+		// The sample instant fell in a span we never advanced through
+		// (can only happen at the very end of the run); observe now.
+		e.recordSample(float64(len(e.running) + e.blocked))
+	}
+	row := &e.seconds[e.curSecond]
+	row.CPUUsage = 100 * e.cpuWorkMs / (e.in.cores * 1000)
+	row.AvgActiveSession = e.sessionInt / 1000
+	row.IOPSUsage = 100 * e.ioOps / e.in.cfg.IOPSCapacity
+	row.MemUsage = math.Min(95, 30+0.3*row.AvgActiveSession)
+	row.QPS = e.completed
+	row.RowLockWaits = e.rowWaits
+	row.MDLWaits = e.mdlWaits
+	row.LockTimeouts = e.lockTimeouts
+
+	e.cpuWorkMs, e.sessionInt, e.ioOps = 0, 0, 0
+	e.completed, e.rowWaits, e.mdlWaits, e.lockTimeouts = 0, 0, 0, 0
+	e.curSecond++
+	for k := range e.throttleCount {
+		delete(e.throttleCount, k)
+	}
+	e.scheduleSample()
+}
+
+// admit runs the admission pipeline for an arriving statement: throttling,
+// Performance Schema overhead, metadata locks, then row locks.
+func (e *engine) admit(q *Query) {
+	if rule, ok := e.in.throttles[q.TemplateID]; ok {
+		if rule.untilMs > 0 && int64(e.now) >= rule.untilMs {
+			delete(e.in.throttles, q.TemplateID) // expired
+		} else {
+			e.throttleCount[q.TemplateID]++
+			if float64(e.throttleCount[q.TemplateID]) > rule.maxQPS {
+				e.emitLog(q, 0.1, 0, true)
+				e.scheduleFollowUp(q)
+				return
+			}
+		}
+	}
+	tbl, err := e.in.tableOf(q)
+	if err != nil {
+		// Unknown table: fail fast, still logged so tests can see it.
+		e.emitLog(q, 0.1, 0, false)
+		e.scheduleFollowUp(q)
+		return
+	}
+	demand := q.ServiceMs * e.in.cfg.PerfSchema.overhead(q.Kind)
+	if demand < 0.01 {
+		demand = 0.01
+	}
+	aq := &activeQuery{q: q, demand: demand, tbl: tbl}
+
+	if q.MDLExclusive {
+		if tbl.inFlight > 0 || tbl.mdlHolder != nil || len(tbl.mdlPending) > 0 {
+			tbl.mdlPending = append(tbl.mdlPending, aq)
+			e.block(aq, false)
+			return
+		}
+		tbl.mdlHolder = aq
+		e.startRunning(aq)
+		return
+	}
+	// Ordinary statement: a held or requested MDL freezes it.
+	if tbl.mdlHolder != nil || len(tbl.mdlPending) > 0 {
+		tbl.mdlWaiters = append(tbl.mdlWaiters, aq)
+		e.block(aq, true)
+		return
+	}
+	e.tryAcquireRowLocks(aq, true)
+}
+
+// tryAcquireRowLocks attempts to take every row lock aq needs; on conflict
+// — a key held by someone else, or demanded by an earlier waiter (no
+// barging) — the statement parks in the table's FIFO wait list and records
+// its demands.
+func (e *engine) tryAcquireRowLocks(aq *activeQuery, countWait bool) {
+	tbl := aq.tbl
+	for _, key := range aq.q.LockKeys {
+		holder, held := tbl.rowLocks[key]
+		if (held && holder != aq) || tbl.demanded[key] > 0 {
+			tbl.rowWaiters = append(tbl.rowWaiters, aq)
+			for _, k := range aq.q.LockKeys {
+				tbl.demanded[k]++
+			}
+			if countWait {
+				e.rowWaits++
+			}
+			e.block(aq, false)
+			return
+		}
+	}
+	e.grantRowLocks(aq)
+}
+
+// grantRowLocks takes aq's locks and starts it running.
+func (e *engine) grantRowLocks(aq *activeQuery) {
+	for _, key := range aq.q.LockKeys {
+		aq.tbl.rowLocks[key] = aq
+	}
+	aq.tbl.inFlight++
+	e.startRunning(aq)
+}
+
+func (e *engine) block(aq *activeQuery, mdl bool) {
+	if aq.blockedSince == 0 {
+		aq.blockedSince = e.now
+		e.blocked++
+		if mdl {
+			e.mdlWaits++
+		}
+		if e.in.cfg.LockWaitTimeoutMs > 0 {
+			e.blockedFIFO = append(e.blockedFIFO, blockEntry{aq: aq, since: e.now})
+		}
+	}
+}
+
+// nextLockTimeout returns the virtual time of the earliest pending lock
+// wait timeout, skipping stale FIFO entries.
+func (e *engine) nextLockTimeout() float64 {
+	if e.in.cfg.LockWaitTimeoutMs <= 0 {
+		return math.Inf(1)
+	}
+	for len(e.blockedFIFO) > 0 {
+		front := e.blockedFIFO[0]
+		if front.aq.blockedSince == 0 || front.aq.blockedSince != front.since {
+			e.blockedFIFO = e.blockedFIFO[1:]
+			continue
+		}
+		return front.since + float64(e.in.cfg.LockWaitTimeoutMs)
+	}
+	return math.Inf(1)
+}
+
+// timeoutFront aborts the longest-waiting blocked statement: it is removed
+// from its wait queue, its lock demands are withdrawn, and an errored log
+// record is emitted — the "Lock wait timeout exceeded" every MySQL user
+// knows. The session it occupied is freed.
+func (e *engine) timeoutFront() {
+	front := e.blockedFIFO[0]
+	e.blockedFIFO = e.blockedFIFO[1:]
+	aq := front.aq
+	if aq.blockedSince == 0 || aq.blockedSince != front.since {
+		return // stale entry: already woken
+	}
+	tbl := aq.tbl
+	// Withdraw from whichever wait structure holds it.
+	switch {
+	case removeWaiter(&tbl.rowWaiters, aq):
+		for _, key := range aq.q.LockKeys {
+			tbl.demanded[key]--
+		}
+		// Its withdrawn demands may unblock later FIFO waiters.
+		e.wakeRowWaiters(tbl)
+	case removeWaiter(&tbl.mdlWaiters, aq):
+		// Frozen statement gave up; nothing to release.
+	case removeWaiter(&tbl.mdlPending, aq):
+		// A queued DDL gave up. If it was the only reason the table was
+		// frozen, release the ordinary statements it was holding back.
+		if tbl.mdlHolder == nil && len(tbl.mdlPending) == 0 {
+			waiters := tbl.mdlWaiters
+			tbl.mdlWaiters = nil
+			for _, w := range waiters {
+				e.tryAcquireRowLocks(w, false)
+			}
+		}
+	}
+	wait := e.now - aq.blockedSince
+	aq.blockedSince = 0
+	e.blocked--
+	e.lockTimeouts++
+	e.emitTimeoutLog(aq.q, e.now-float64(aq.q.ArrivalMs), aq.lockWaitMs+wait)
+	e.scheduleFollowUp(aq.q)
+}
+
+// removeWaiter deletes aq from a wait list, preserving order.
+func removeWaiter(list *[]*activeQuery, aq *activeQuery) bool {
+	for i, w := range *list {
+		if w == aq {
+			*list = append((*list)[:i], (*list)[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (e *engine) emitTimeoutLog(q *Query, respMs, lockWaitMs float64) {
+	if e.opts.Sink == nil {
+		return
+	}
+	e.opts.Sink(LogRecord{
+		TemplateID:   q.TemplateID,
+		SQL:          q.SQL,
+		Table:        q.Table,
+		Kind:         q.Kind,
+		ArrivalMs:    q.ArrivalMs,
+		ResponseMs:   respMs,
+		ExaminedRows: 0,
+		TimedOut:     true,
+		LockWaitMs:   lockWaitMs,
+	})
+}
+
+func (e *engine) startRunning(aq *activeQuery) {
+	if aq.blockedSince > 0 {
+		aq.lockWaitMs += e.now - aq.blockedSince
+		aq.blockedSince = 0
+		e.blocked--
+	}
+	aq.finishV = e.curV + aq.demand
+	heap.Push(&e.running, aq)
+}
+
+// completeMin finishes the statement with the smallest finish virtual time.
+func (e *engine) completeMin() {
+	aq := heap.Pop(&e.running).(*activeQuery)
+	q := aq.q
+	tbl := aq.tbl
+
+	respMs := e.now - float64(q.ArrivalMs)
+	if respMs < 0 {
+		respMs = 0
+	}
+	e.emitLog(q, respMs, aq.lockWaitMs, false)
+	e.completed++
+	e.ioOps += q.IOOps
+
+	if q.MDLExclusive {
+		tbl.mdlHolder = nil
+		e.releaseMDL(tbl)
+	} else {
+		for _, key := range q.LockKeys {
+			if tbl.rowLocks[key] == aq {
+				delete(tbl.rowLocks, key)
+			}
+		}
+		tbl.inFlight--
+		e.wakeRowWaiters(tbl)
+		e.maybeGrantMDL(tbl)
+	}
+	e.scheduleFollowUp(q)
+}
+
+// releaseMDL drains the queue after a DDL finishes: first any pending DDL,
+// otherwise every frozen ordinary statement re-enters row-lock admission.
+func (e *engine) releaseMDL(tbl *table) {
+	if len(tbl.mdlPending) > 0 {
+		next := tbl.mdlPending[0]
+		tbl.mdlPending = tbl.mdlPending[1:]
+		tbl.mdlHolder = next
+		e.startRunning(next)
+		return
+	}
+	waiters := tbl.mdlWaiters
+	tbl.mdlWaiters = nil
+	for _, aq := range waiters {
+		e.tryAcquireRowLocks(aq, false)
+	}
+}
+
+// maybeGrantMDL hands the metadata lock to a pending DDL once the table's
+// in-flight statements have drained.
+func (e *engine) maybeGrantMDL(tbl *table) {
+	if tbl.inFlight == 0 && tbl.mdlHolder == nil && len(tbl.mdlPending) > 0 {
+		next := tbl.mdlPending[0]
+		tbl.mdlPending = tbl.mdlPending[1:]
+		tbl.mdlHolder = next
+		e.startRunning(next)
+	}
+}
+
+// wakeRowWaiters re-examines the FIFO wait list after a lock release.
+// Waiters are granted in arrival order; a waiter that still cannot run
+// claims its keys so later waiters cannot jump over it on those keys.
+func (e *engine) wakeRowWaiters(tbl *table) {
+	if len(tbl.rowWaiters) == 0 {
+		return
+	}
+	claimed := make(map[int]bool)
+	remaining := tbl.rowWaiters[:0]
+	for i, aq := range tbl.rowWaiters {
+		free := true
+		for _, key := range aq.q.LockKeys {
+			holder, held := tbl.rowLocks[key]
+			if (held && holder != aq) || claimed[key] {
+				free = false
+				break
+			}
+		}
+		if !free {
+			for _, key := range aq.q.LockKeys {
+				claimed[key] = true
+			}
+			remaining = append(remaining, tbl.rowWaiters[i])
+			continue
+		}
+		for _, key := range aq.q.LockKeys {
+			tbl.demanded[key]--
+		}
+		e.grantRowLocks(aq)
+	}
+	tbl.rowWaiters = remaining
+}
+
+func (e *engine) emitLog(q *Query, respMs, lockWaitMs float64, throttled bool) {
+	if e.opts.Sink == nil {
+		return
+	}
+	rows := q.ExaminedRows
+	if throttled {
+		rows = 0
+	}
+	e.opts.Sink(LogRecord{
+		TemplateID:   q.TemplateID,
+		SQL:          q.SQL,
+		Table:        q.Table,
+		Kind:         q.Kind,
+		ArrivalMs:    q.ArrivalMs,
+		ResponseMs:   respMs,
+		ExaminedRows: rows,
+		Throttled:    throttled,
+		LockWaitMs:   lockWaitMs,
+	})
+}
+
+func (e *engine) scheduleFollowUp(q *Query) {
+	if e.opts.OnComplete == nil {
+		return
+	}
+	next := e.opts.OnComplete(q, int64(e.now))
+	if next == nil {
+		return
+	}
+	if next.ArrivalMs < int64(e.now) {
+		next.ArrivalMs = int64(e.now)
+	}
+	heap.Push(&e.internal, next)
+}

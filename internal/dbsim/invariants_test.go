@@ -1,0 +1,161 @@
+package dbsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomWorkload builds a reproducible batch of mixed queries.
+func randomWorkload(seed int64, n int, horizonMs int64) []*Query {
+	rng := rand.New(rand.NewSource(seed))
+	qs := make([]*Query, 0, n)
+	var t int64
+	for i := 0; i < n; i++ {
+		t += 1 + rng.Int63n(2*horizonMs/int64(n)) // strictly increasing: arrivals double as unique keys
+		q := mkQuery("T", "sales", KindSelect, t, 1+rng.Float64()*50)
+		switch rng.Intn(4) {
+		case 0:
+			q.Kind = KindUpdate
+			q.LockKeys = []int{rng.Intn(10)}
+		case 1:
+			q.Kind = KindUpdate
+			q.LockKeys = []int{rng.Intn(10), 10 + rng.Intn(10)}
+		}
+		qs = append(qs, q)
+	}
+	return qs
+}
+
+// Property: CPU work accounted per second never exceeds capacity, sessions
+// are non-negative, and the number of completed queries matches the log.
+func TestConservationProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		in := testInstance(2)
+		qs := randomWorkload(seed, 120, 20_000)
+		var logged int
+		secs, err := in.Run(RunOptions{
+			StartMs: 0,
+			EndMs:   60_000,
+			Source:  NewSliceSource(qs),
+			Sink:    func(LogRecord) { logged++ },
+		})
+		if err != nil {
+			return false
+		}
+		var totalQPS int
+		for _, s := range secs {
+			if s.CPUUsage < -1e-9 || s.CPUUsage > 100+1e-9 {
+				return false
+			}
+			if s.ActiveSession < 0 || s.AvgActiveSession < -1e-9 {
+				return false
+			}
+			totalQPS += s.QPS
+		}
+		return totalQPS == logged
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every response time is at least the service demand (queueing
+// and locks only add latency), and lock wait never exceeds response time.
+func TestResponseDominatesServiceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		in := testInstance(1) // heavy contention
+		qs := randomWorkload(seed, 80, 10_000)
+		demand := make(map[*Query]float64, len(qs))
+		for _, q := range qs {
+			demand[q] = q.ServiceMs
+		}
+		type rec struct{ resp, wait float64 }
+		got := map[string][]rec{}
+		byArrival := map[int64]float64{}
+		for _, q := range qs {
+			byArrival[q.ArrivalMs] = q.ServiceMs
+		}
+		_, err := in.Run(RunOptions{
+			StartMs: 0,
+			EndMs:   120_000,
+			Source:  NewSliceSource(qs),
+			Sink: func(r LogRecord) {
+				got[r.TemplateID] = append(got[r.TemplateID], rec{r.ResponseMs, r.LockWaitMs})
+				if svc, ok := byArrival[r.ArrivalMs]; ok {
+					if r.ResponseMs+1e-6 < svc {
+						t.Errorf("response %v < service %v", r.ResponseMs, svc)
+					}
+				}
+				if r.LockWaitMs > r.ResponseMs+1e-6 {
+					t.Errorf("lock wait %v > response %v", r.LockWaitMs, r.ResponseMs)
+				}
+			},
+		})
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: simulation is deterministic for a fixed seed.
+func TestDeterminismProperty(t *testing.T) {
+	run := func(seed int64) ([]SecondMetrics, []LogRecord) {
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		in := NewInstance(cfg)
+		in.CreateTable("sales", 1000)
+		var log []LogRecord
+		secs, err := in.Run(RunOptions{
+			StartMs: 0,
+			EndMs:   30_000,
+			Source:  NewSliceSource(randomWorkload(seed, 100, 25_000)),
+			Sink:    func(r LogRecord) { log = append(log, r) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return secs, log
+	}
+	a1, l1 := run(7)
+	a2, l2 := run(7)
+	if len(a1) != len(a2) || len(l1) != len(l2) {
+		t.Fatalf("lengths differ: %d/%d secs, %d/%d log", len(a1), len(a2), len(l1), len(l2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("metrics differ at second %d: %+v vs %+v", i, a1[i], a2[i])
+		}
+	}
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatalf("log differs at %d: %+v vs %+v", i, l1[i], l2[i])
+		}
+	}
+}
+
+// Property: the time-averaged session integral equals the total response
+// time of completed queries when the window fully contains all activity
+// (Little's law bookkeeping).
+func TestSessionIntegralMatchesResponseMass(t *testing.T) {
+	in := testInstance(4)
+	qs := randomWorkload(3, 60, 5_000)
+	var respMass float64
+	secs, err := in.Run(RunOptions{
+		StartMs: 0,
+		EndMs:   300_000, // generous horizon: everything completes
+		Source:  NewSliceSource(qs),
+		Sink:    func(r LogRecord) { respMass += r.ResponseMs },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var integral float64
+	for _, s := range secs {
+		integral += s.AvgActiveSession * 1000
+	}
+	if diff := integral - respMass; diff > 1e-3 || diff < -1e-3 {
+		t.Errorf("session integral %v ≠ response mass %v", integral, respMass)
+	}
+}

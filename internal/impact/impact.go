@@ -1,0 +1,129 @@
+// Package impact implements PinSQL's High-impact SQL Identification Module
+// (§V): ranking SQL templates by how strongly they drive the instance's
+// active-session metric during an anomaly, by fusing three level scores:
+//
+//   - trend-level: weighted Pearson correlation between the template's
+//     individual active session and the instance session, with a
+//     sigmoid weight emphasizing the anomaly period;
+//   - scale-level: the template's share of total session mass inside the
+//     anomaly window, min-max normalized across templates into [-1, 1];
+//   - scale-trend-level: correlation between the template's session share
+//     (sessionQ/session) and the instance session, rewarding templates
+//     whose share grows exactly when the metric is anomalous.
+//
+// The three scores fuse into a weighted final score
+//
+//	impact(Q) = β·trend(Q) + scale_trend(Q) + α·scale(Q)
+//
+// with α = corr(session_Qmax, session) for the template of largest scale
+// and β = −α: when the biggest template itself explains the session curve,
+// scale is trusted; when it does not (a huge stable-traffic template),
+// trend takes over.
+package impact
+
+import (
+	"sort"
+
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+)
+
+// DefaultSmoothKs is the paper's smooth factor k_s = 30 (§VIII-A).
+const DefaultSmoothKs = 30
+
+// Options tunes the module; the Use* flags exist for the Fig. 6 ablations.
+type Options struct {
+	SmoothKs      float64
+	UseTrend      bool // include β·trend(Q)
+	UseScale      bool // include α·scale(Q)
+	UseScaleTrend bool // include scale_trend(Q)
+	// WeightedScore enables the adaptive α/β weights; disabled, both are
+	// the constant 1 ("PinSQL w/o Weighted Final Score").
+	WeightedScore bool
+}
+
+// DefaultOptions returns the full PinSQL configuration.
+func DefaultOptions() Options {
+	return Options{
+		SmoothKs:      DefaultSmoothKs,
+		UseTrend:      true,
+		UseScale:      true,
+		UseScaleTrend: true,
+		WeightedScore: true,
+	}
+}
+
+// Score is one template's H-SQL scoring breakdown.
+type Score struct {
+	ID         sqltemplate.ID
+	Trend      float64
+	Scale      float64
+	ScaleTrend float64
+	Impact     float64
+}
+
+// Rank scores every template and returns them sorted by descending impact.
+// sessions maps template → estimated individual active session; instSession
+// is the instance's active-session metric; [as, ae) is the anomaly window
+// in series indexes.
+func Rank(sessions map[sqltemplate.ID]timeseries.Series, instSession timeseries.Series, as, ae int, opt Options) []Score {
+	if len(sessions) == 0 {
+		return nil
+	}
+	n := len(instSession)
+	weight := timeseries.SigmoidWeight(n, as, ae, opt.SmoothKs)
+
+	ids := make([]sqltemplate.ID, 0, len(sessions))
+	for id := range sessions {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Scale-level: anomaly-window session mass per template, min-max
+	// normalized across templates and mapped into [-1, 1].
+	masses := make(timeseries.Series, len(ids))
+	for i, id := range ids {
+		masses[i] = sessions[id].Slice(as, ae).Sum()
+	}
+	norm := masses.MinMax()
+
+	scores := make([]Score, len(ids))
+	var maxIdx int
+	for i, id := range ids {
+		s := sessions[id]
+		trend, _ := timeseries.WeightedCorr(s, instSession, weight)
+		ratio, _ := s.Div(instSession)
+		scaleTrend, _ := timeseries.Corr(ratio, instSession)
+		scores[i] = Score{
+			ID:         id,
+			Trend:      trend,
+			Scale:      2*norm[i] - 1,
+			ScaleTrend: scaleTrend,
+		}
+		if masses[i] > masses[maxIdx] {
+			maxIdx = i
+		}
+	}
+
+	alpha, beta := 1.0, 1.0
+	if opt.WeightedScore {
+		a, _ := timeseries.Corr(sessions[ids[maxIdx]], instSession)
+		alpha, beta = a, -a
+	}
+	for i := range scores {
+		var impact float64
+		if opt.UseTrend {
+			impact += beta * scores[i].Trend
+		}
+		if opt.UseScaleTrend {
+			impact += scores[i].ScaleTrend
+		}
+		if opt.UseScale {
+			impact += alpha * scores[i].Scale
+		}
+		scores[i].Impact = impact
+	}
+
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].Impact > scores[j].Impact })
+	return scores
+}

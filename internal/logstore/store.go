@@ -1,0 +1,174 @@
+// Package logstore is the repository for collected query logs — the
+// substitute for Alibaba Cloud LogStore in the paper's pipeline (§IV-A).
+// It is an append-only, topic-partitioned store of compact per-query
+// records with TTL-based expiry ("the data will be invalidated after three
+// days, or another user-customized expiration period").
+//
+// Records are kept per topic (one topic per database instance) in arrival
+// order, so range scans over a diagnosis window are a binary search plus a
+// contiguous slice copy.
+package logstore
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Record is one collected query observation, compacted for bulk storage:
+// the template is referenced by registry index instead of repeating the
+// SQL text billions of times.
+type Record struct {
+	TemplateIdx  int32   // index into the collector's template registry
+	ArrivalMs    int64   // t(q)
+	ResponseMs   float64 // tres(q)
+	ExaminedRows int64
+}
+
+// DefaultTTLMs is the paper's three-day default expiration period.
+const DefaultTTLMs = 3 * 24 * 3600 * 1000
+
+// ErrUnsortedAppend reports an append that would break a topic's arrival
+// ordering beyond the allowed slack.
+var ErrUnsortedAppend = errors.New("logstore: record arrival time out of order")
+
+// Store is a thread-safe, TTL-expiring log store.
+type Store struct {
+	mu     sync.RWMutex
+	ttlMs  int64
+	topics map[string][]Record
+	// slackMs tolerates mild reordering from asynchronous collection;
+	// records are kept sorted by insertion sort within the slack window.
+	slackMs int64
+	// dirty topics have loose-appended records pending a lazy sort.
+	dirty map[string]bool
+}
+
+// New creates a store with the given TTL in milliseconds; ttlMs ≤ 0 selects
+// DefaultTTLMs.
+func New(ttlMs int64) *Store {
+	if ttlMs <= 0 {
+		ttlMs = DefaultTTLMs
+	}
+	return &Store{
+		ttlMs:   ttlMs,
+		topics:  make(map[string][]Record),
+		slackMs: 5000,
+		dirty:   make(map[string]bool),
+	}
+}
+
+// TTL returns the configured time-to-live in milliseconds.
+func (s *Store) TTL() int64 { return s.ttlMs }
+
+// Append stores a record under the topic. Records may arrive mildly out of
+// order (asynchronous collectors); anything older than the slack window
+// relative to the topic's newest record is rejected.
+func (s *Store) Append(topic string, rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := s.topics[topic]
+	if n := len(recs); n > 0 && rec.ArrivalMs < recs[n-1].ArrivalMs {
+		if recs[n-1].ArrivalMs-rec.ArrivalMs > s.slackMs {
+			return ErrUnsortedAppend
+		}
+		// Insertion sort within the slack window.
+		i := sort.Search(n, func(i int) bool { return recs[i].ArrivalMs > rec.ArrivalMs })
+		recs = append(recs, Record{})
+		copy(recs[i+1:], recs[i:])
+		recs[i] = rec
+		s.topics[topic] = recs
+		return nil
+	}
+	s.topics[topic] = append(recs, rec)
+	return nil
+}
+
+// AppendLoose stores a record without any ordering requirement: records
+// are sorted lazily at the next Scan. Query logs are emitted at statement
+// *completion*, so a statement that spent minutes in a lock queue arrives
+// long after later-arriving statements — far outside any streaming slack
+// window. Batch collectors use this path.
+func (s *Store) AppendLoose(topic string, rec Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.topics[topic] = append(s.topics[topic], rec)
+	s.dirty[topic] = true
+}
+
+// ensureSorted lazily re-sorts a topic after loose appends. Callers must
+// hold the write lock.
+func (s *Store) ensureSorted(topic string) {
+	if !s.dirty[topic] {
+		return
+	}
+	recs := s.topics[topic]
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].ArrivalMs < recs[j].ArrivalMs })
+	delete(s.dirty, topic)
+}
+
+// Scan returns a copy of the records in topic with ArrivalMs in
+// [fromMs, toMs).
+func (s *Store) Scan(topic string, fromMs, toMs int64) []Record {
+	// The write lock covers the whole scan: a concurrent AppendLoose
+	// between sorting and searching would otherwise leave an unsorted
+	// tail under the binary search.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSorted(topic)
+	recs := s.topics[topic]
+	lo := sort.Search(len(recs), func(i int) bool { return recs[i].ArrivalMs >= fromMs })
+	hi := sort.Search(len(recs), func(i int) bool { return recs[i].ArrivalMs >= toMs })
+	out := make([]Record, hi-lo)
+	copy(out, recs[lo:hi])
+	return out
+}
+
+// Len returns the number of live records in a topic.
+func (s *Store) Len(topic string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.topics[topic])
+}
+
+// Topics returns the topic names with at least one live record.
+func (s *Store) Topics() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.topics))
+	for name, recs := range s.topics {
+		if len(recs) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Expire drops every record with ArrivalMs < nowMs − TTL across all topics
+// and returns the number removed. PinSQL calls this periodically to keep
+// the store's size within its limit (§IV-A).
+func (s *Store) Expire(nowMs int64) int {
+	cutoff := nowMs - s.ttlMs
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for topic := range s.topics {
+		s.ensureSorted(topic)
+	}
+	for topic, recs := range s.topics {
+		lo := sort.Search(len(recs), func(i int) bool { return recs[i].ArrivalMs >= cutoff })
+		if lo == 0 {
+			continue
+		}
+		removed += lo
+		remaining := make([]Record, len(recs)-lo)
+		copy(remaining, recs[lo:])
+		if len(remaining) == 0 {
+			delete(s.topics, topic)
+		} else {
+			s.topics[topic] = remaining
+		}
+	}
+	return removed
+}

@@ -1,0 +1,212 @@
+package logstore
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAppendAndScan(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 10; i++ {
+		if err := s.Append("db1", Record{TemplateIdx: int32(i), ArrivalMs: int64(i * 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Scan("db1", 200, 500)
+	if len(got) != 3 {
+		t.Fatalf("scan returned %d records, want 3", len(got))
+	}
+	for i, r := range got {
+		if want := int64(200 + i*100); r.ArrivalMs != want {
+			t.Errorf("rec[%d].ArrivalMs = %d, want %d", i, r.ArrivalMs, want)
+		}
+	}
+}
+
+func TestScanEmptyAndMissingTopic(t *testing.T) {
+	s := New(0)
+	if got := s.Scan("nope", 0, 100); len(got) != 0 {
+		t.Errorf("missing topic scan = %v", got)
+	}
+	s.Append("a", Record{ArrivalMs: 50})
+	if got := s.Scan("a", 100, 200); len(got) != 0 {
+		t.Errorf("out-of-range scan = %v", got)
+	}
+}
+
+func TestScanReturnsCopy(t *testing.T) {
+	s := New(0)
+	s.Append("t", Record{ArrivalMs: 1, TemplateIdx: 7})
+	got := s.Scan("t", 0, 10)
+	got[0].TemplateIdx = 99
+	again := s.Scan("t", 0, 10)
+	if again[0].TemplateIdx != 7 {
+		t.Error("Scan must return copies")
+	}
+}
+
+func TestSlackReordering(t *testing.T) {
+	s := New(0)
+	s.Append("t", Record{ArrivalMs: 1000})
+	s.Append("t", Record{ArrivalMs: 3000})
+	// Mildly late record (within 5 s slack) is inserted in order.
+	if err := s.Append("t", Record{ArrivalMs: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.Scan("t", 0, 10_000)
+	if len(recs) != 3 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].ArrivalMs < recs[i-1].ArrivalMs {
+			t.Fatalf("records out of order: %v", recs)
+		}
+	}
+	// Hopelessly late record is rejected.
+	if err := s.Append("t", Record{ArrivalMs: 3000 - 6000}); err != ErrUnsortedAppend {
+		t.Errorf("stale append error = %v, want ErrUnsortedAppend", err)
+	}
+}
+
+func TestExpire(t *testing.T) {
+	s := New(1000) // 1 s TTL
+	for i := 0; i < 10; i++ {
+		s.Append("t", Record{ArrivalMs: int64(i * 100)})
+	}
+	removed := s.Expire(1500) // cutoff = 500
+	if removed != 5 {
+		t.Errorf("removed = %d, want 5", removed)
+	}
+	if s.Len("t") != 5 {
+		t.Errorf("live records = %d, want 5", s.Len("t"))
+	}
+	// Expiring everything drops the topic.
+	s.Expire(100_000)
+	if s.Len("t") != 0 {
+		t.Errorf("live records = %d, want 0", s.Len("t"))
+	}
+	if topics := s.Topics(); len(topics) != 0 {
+		t.Errorf("topics = %v, want none", topics)
+	}
+}
+
+func TestTopicsSorted(t *testing.T) {
+	s := New(0)
+	s.Append("zeta", Record{})
+	s.Append("alpha", Record{})
+	s.Append("mid", Record{})
+	got := s.Topics()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(got) != len(want) {
+		t.Fatalf("topics = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("topics[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDefaultTTL(t *testing.T) {
+	if got := New(0).TTL(); got != DefaultTTLMs {
+		t.Errorf("default TTL = %d", got)
+	}
+	if got := New(42).TTL(); got != 42 {
+		t.Errorf("custom TTL = %d", got)
+	}
+}
+
+func TestConcurrentAppendScan(t *testing.T) {
+	s := New(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			topic := string(rune('a' + w%4))
+			for i := 0; i < 500; i++ {
+				s.Append(topic, Record{ArrivalMs: int64(i)})
+				if i%50 == 0 {
+					s.Scan(topic, 0, int64(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, topic := range s.Topics() {
+		total += s.Len(topic)
+	}
+	if total != 8*500 {
+		t.Errorf("total records = %d, want 4000", total)
+	}
+}
+
+// Property: after any sequence of in-slack appends, every topic scan is
+// sorted and Scan(from,to) returns exactly the records in range.
+func TestScanWindowProperty(t *testing.T) {
+	f := func(offsets []uint16, from, to uint16) bool {
+		s := New(0)
+		base := int64(0)
+		for _, off := range offsets {
+			// Keep deltas within slack so every append is accepted.
+			base += int64(off % 512)
+			if err := s.Append("t", Record{ArrivalMs: base}); err != nil {
+				return false
+			}
+		}
+		lo, hi := int64(from), int64(to)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		recs := s.Scan("t", lo, hi)
+		for i, r := range recs {
+			if r.ArrivalMs < lo || r.ArrivalMs >= hi {
+				return false
+			}
+			if i > 0 && recs[i-1].ArrivalMs > r.ArrivalMs {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Expire never removes records newer than the cutoff and Len
+// decreases by exactly the removed count.
+func TestExpireProperty(t *testing.T) {
+	f := func(times []uint32, now uint32) bool {
+		s := New(1000)
+		base := int64(0)
+		n := 0
+		for _, dt := range times {
+			base += int64(dt % 300)
+			if s.Append("t", Record{ArrivalMs: base}) == nil {
+				n++
+			}
+		}
+		before := s.Len("t")
+		removed := s.Expire(int64(now))
+		after := s.Len("t")
+		if before-removed != after {
+			return false
+		}
+		cutoff := int64(now) - 1000
+		for _, r := range s.Scan("t", 0, 1<<62) {
+			if r.ArrivalMs < cutoff {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

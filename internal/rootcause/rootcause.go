@@ -1,0 +1,383 @@
+// Package rootcause implements PinSQL's Root Cause SQL Identification
+// Module (§VI). Starting from the H-SQL impact ranking it:
+//
+//  1. clusters SQL templates by the trend of their #execution series
+//     (pairwise Pearson > τ → edge; connected components → business
+//     clusters, exploiting the microservice call-DAG correlation of
+//     Fig. 4), with performance metrics added as temporary nodes to
+//     densify the graph;
+//  2. ranks clusters by their best member's impact score
+//     (impact(c) = max_{Q∈c} impact(Q));
+//  3. selects clusters with the cumulative threshold: keep adding clusters
+//     (up to K_c) until the summed session of selected templates
+//     correlates with the instance session at ≥ τ_c — so anomalies driven
+//     by multiple independent businesses keep all their R-SQLs;
+//  4. verifies candidates against history: a true R-SQL's #execution
+//     spikes in the anomaly window (Tukey's rule) and did NOT spike in the
+//     same window 1/3/7 days ago;
+//  5. ranks the survivors by corr(#execution, session).
+package rootcause
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+)
+
+// Defaults from §VIII-A.
+const (
+	DefaultTau    = 0.8  // clustering correlation threshold τ
+	DefaultTauC   = 0.95 // cumulative threshold τ_c
+	DefaultKc     = 5    // max cluster iterations K_c
+	DefaultTukeyK = 3.0  // Tukey multiplier for history verification
+	// clusterGranularitySec is the downsampling factor applied to
+	// #execution series before the O(N²) pairwise correlation, keeping
+	// clustering tractable for thousands of templates (the paper
+	// aggregates at 1-minute granularity for the same reason).
+	clusterGranularitySec = 60
+)
+
+// Options tunes the module; the Use* switches exist for the Fig. 6
+// ablations.
+type Options struct {
+	Tau    float64
+	TauC   float64
+	Kc     int
+	TukeyK float64
+
+	// UseCumulativeThreshold=false keeps only the top-1 cluster
+	// ("PinSQL w/o Cumulative Threshold").
+	UseCumulativeThreshold bool
+	// UseHistoryVerification=false skips step 4
+	// ("PinSQL w/o History Trend Verification").
+	UseHistoryVerification bool
+}
+
+// DefaultOptions returns the full PinSQL configuration.
+func DefaultOptions() Options {
+	return Options{
+		Tau:                    DefaultTau,
+		TauC:                   DefaultTauC,
+		Kc:                     DefaultKc,
+		TukeyK:                 DefaultTukeyK,
+		UseCumulativeThreshold: true,
+		UseHistoryVerification: true,
+	}
+}
+
+// Template is one SQL template's input to the module.
+type Template struct {
+	ID      sqltemplate.ID
+	Exec    timeseries.Series // #execution per second over [ts, te)
+	Session timeseries.Series // estimated individual active session
+	Impact  float64           // H-SQL impact score (or a baseline's score)
+}
+
+// HistoryWindow carries #execution series of the same-length window Nd days
+// ago. Templates absent from a window are treated as new SQLs.
+type HistoryWindow struct {
+	DaysAgo int
+	Counts  map[sqltemplate.ID]timeseries.Series
+}
+
+// Input bundles everything the module needs for one anomaly case.
+type Input struct {
+	Templates   []Template
+	Metrics     map[string]timeseries.Series // temporary clustering nodes
+	InstSession timeseries.Series            // instance active session over [ts, te)
+	AS, AE      int                          // anomaly window [as, ae) in seconds
+	History     []HistoryWindow
+}
+
+// Candidate is one ranked R-SQL.
+type Candidate struct {
+	ID       sqltemplate.ID
+	Score    float64 // corr(#execution, session)
+	Cluster  int     // index into Result.Clusters
+	Verified bool    // passed history trend verification
+}
+
+// Result is the module's full output, exposing intermediate structure for
+// diagnostics and the experiment harness.
+type Result struct {
+	// Clusters lists template IDs per connected component, ordered by
+	// descending cluster impact.
+	Clusters [][]sqltemplate.ID
+	// ClusterImpact[i] is max impact of Clusters[i].
+	ClusterImpact []float64
+	// Selected is the number of leading clusters chosen by the
+	// cumulative threshold.
+	Selected int
+	// CumulativeCorr is corr(Σ selected sessions, instance session) at
+	// the point the iteration stopped.
+	CumulativeCorr float64
+	// Ranked is the final R-SQL ranking, best first.
+	Ranked []Candidate
+
+	// ClusterDur and VerifyDur split the module's run time into the
+	// clustering+filtering and history-verification+ranking stages, for
+	// the §VIII-B timing breakdown.
+	ClusterDur time.Duration
+	VerifyDur  time.Duration
+}
+
+// Identify runs the full module.
+func Identify(in Input, opt Options) *Result {
+	res := &Result{}
+	if len(in.Templates) == 0 {
+		return res
+	}
+	stageStart := time.Now()
+
+	clusters := clusterTemplates(in, opt.Tau)
+	orderClustersByImpact(clusters, in.Templates)
+	for _, c := range clusters {
+		ids := make([]sqltemplate.ID, len(c.members))
+		for i, m := range c.members {
+			ids[i] = in.Templates[m].ID
+		}
+		res.Clusters = append(res.Clusters, ids)
+		res.ClusterImpact = append(res.ClusterImpact, c.impact)
+	}
+
+	res.Selected, res.CumulativeCorr = selectClusters(clusters, in, opt)
+
+	// Candidate pool: members of the selected clusters.
+	var pool []int
+	for _, c := range clusters[:res.Selected] {
+		pool = append(pool, c.members...)
+	}
+	res.ClusterDur = time.Since(stageStart)
+	stageStart = time.Now()
+
+	verified := make(map[int]bool, len(pool))
+	if opt.UseHistoryVerification {
+		var kept []int
+		for _, idx := range pool {
+			if verifyHistory(in, idx, opt.TukeyK) {
+				verified[idx] = true
+				kept = append(kept, idx)
+			}
+		}
+		if len(kept) == 0 {
+			// Every selected candidate failed verification: the chosen
+			// clusters held only affected statements (victims), not the
+			// cause. Widen the search to every cluster — the R-SQL's own
+			// cluster may have ranked below the victims' when the
+			// business bridge was too weak to join them.
+			for idx := range in.Templates {
+				if verifyHistory(in, idx, opt.TukeyK) {
+					verified[idx] = true
+					kept = append(kept, idx)
+				}
+			}
+		}
+		// A still-empty pool would leave the DBA empty-handed; fall back
+		// to the unverified selection (rare, mostly when the anomaly
+		// window clips the trace boundary).
+		if len(kept) > 0 {
+			pool = kept
+		}
+	}
+
+	clusterOf := make(map[int]int)
+	for ci, c := range clusters {
+		for _, m := range c.members {
+			clusterOf[m] = ci
+		}
+	}
+	for _, idx := range pool {
+		score, _ := timeseries.Corr(in.Templates[idx].Exec, in.InstSession)
+		res.Ranked = append(res.Ranked, Candidate{
+			ID:       in.Templates[idx].ID,
+			Score:    score,
+			Cluster:  clusterOf[idx],
+			Verified: verified[idx],
+		})
+	}
+	sort.SliceStable(res.Ranked, func(i, j int) bool { return res.Ranked[i].Score > res.Ranked[j].Score })
+	res.VerifyDur = time.Since(stageStart)
+	return res
+}
+
+// cluster is an internal connected component.
+type cluster struct {
+	members []int // template indexes
+	impact  float64
+}
+
+// clusterTemplates builds the correlation graph over templates plus metric
+// temp nodes and returns its connected components (templates only).
+func clusterTemplates(in Input, tau float64) []cluster {
+	nT := len(in.Templates)
+	// Standardize each node's downsampled #execution (or metric) series:
+	// corr(a, b) then reduces to a dot product.
+	vecs := make([][]float64, 0, nT+len(in.Metrics))
+	for _, t := range in.Templates {
+		vecs = append(vecs, standardize(t.Exec.Downsample(clusterGranularitySec)))
+	}
+	metricNames := make([]string, 0, len(in.Metrics))
+	for name := range in.Metrics {
+		metricNames = append(metricNames, name)
+	}
+	sort.Strings(metricNames)
+	for _, name := range metricNames {
+		vecs = append(vecs, standardize(in.Metrics[name].Downsample(clusterGranularitySec)))
+	}
+
+	uf := newUnionFind(len(vecs))
+	for i := 0; i < len(vecs); i++ {
+		if vecs[i] == nil {
+			continue
+		}
+		for j := i + 1; j < len(vecs); j++ {
+			if vecs[j] == nil || uf.find(i) == uf.find(j) {
+				continue
+			}
+			if dot(vecs[i], vecs[j]) > tau {
+				uf.union(i, j)
+			}
+		}
+	}
+
+	// Collect components; only template nodes (index < nT) become cluster
+	// members — the metric temp nodes are filtered here, as in the paper.
+	var clusters []cluster
+	seen := make(map[int]int)
+	for i := 0; i < nT; i++ {
+		root := uf.find(i)
+		ci, ok := seen[root]
+		if !ok {
+			ci = len(clusters)
+			seen[root] = ci
+			clusters = append(clusters, cluster{})
+		}
+		clusters[ci].members = append(clusters[ci].members, i)
+	}
+	return clusters
+}
+
+// orderClustersByImpact computes each cluster's impact and sorts descending.
+func orderClustersByImpact(clusters []cluster, templates []Template) {
+	for i := range clusters {
+		best := templates[clusters[i].members[0]].Impact
+		for _, m := range clusters[i].members[1:] {
+			if templates[m].Impact > best {
+				best = templates[m].Impact
+			}
+		}
+		clusters[i].impact = best
+	}
+	sort.SliceStable(clusters, func(i, j int) bool { return clusters[i].impact > clusters[j].impact })
+}
+
+// selectClusters applies the cumulative threshold (§VI): iterate clusters
+// in impact order, summing member sessions, until the sum correlates with
+// the instance session at ≥ τ_c or K_c clusters are taken.
+func selectClusters(clusters []cluster, in Input, opt Options) (selected int, cumCorr float64) {
+	if len(clusters) == 0 {
+		return 0, 0
+	}
+	if !opt.UseCumulativeThreshold {
+		return 1, 0
+	}
+	kc := opt.Kc
+	if kc <= 0 {
+		kc = DefaultKc
+	}
+	if kc > len(clusters) {
+		kc = len(clusters)
+	}
+	sum := make(timeseries.Series, len(in.InstSession))
+	for i := 0; i < kc; i++ {
+		for _, m := range clusters[i].members {
+			s := in.Templates[m].Session
+			for t := 0; t < len(sum) && t < len(s); t++ {
+				sum[t] += s[t]
+			}
+		}
+		cumCorr, _ = timeseries.Corr(sum, in.InstSession)
+		if cumCorr >= opt.TauC {
+			return i + 1, cumCorr
+		}
+	}
+	return kc, cumCorr
+}
+
+// verifyHistory applies the paper's two rules to one template: (i) the
+// #execution abruptly increased in the anomaly window now, and (ii) it did
+// not in the corresponding window of any history trace. Templates missing
+// from a history window are new SQLs and pass that window.
+//
+// "Abruptly increased" is judged with Tukey fences computed from the
+// pre-anomaly baseline [0, as): using the whole trace would let a
+// sustained plateau inflate its own fences and hide itself (a brand-new
+// statement elevated for a third of the window would otherwise never be an
+// outlier of its own distribution).
+func verifyHistory(in Input, idx int, tukeyK float64) bool {
+	if tukeyK <= 0 {
+		tukeyK = DefaultTukeyK
+	}
+	t := in.Templates[idx]
+	if !windowAbruptlyUp(t.Exec, in.AS, in.AE, tukeyK) {
+		return false
+	}
+	for _, hw := range in.History {
+		hist, ok := hw.Counts[t.ID]
+		if !ok {
+			continue // new SQL: nothing to compare against
+		}
+		if windowAbruptlyUp(hist, in.AS, in.AE, tukeyK) {
+			return false
+		}
+	}
+	return true
+}
+
+// windowAbruptlyUp reports whether the window mean of s exceeds the upper
+// Tukey fence of the pre-window baseline.
+func windowAbruptlyUp(s timeseries.Series, as, ae int, k float64) bool {
+	base := s.Slice(0, as)
+	if len(base) < 10 {
+		base = s // degenerate window placement: whole-series fences
+	}
+	_, hi := base.TukeyBounds(k)
+	win := s.Slice(as, ae)
+	return len(win) > 0 && win.Mean() > hi
+}
+
+// standardize returns s centered and scaled to unit norm, or nil for a
+// (near-)constant series, which cannot carry trend information.
+func standardize(s timeseries.Series) []float64 {
+	m := s.Mean()
+	var norm float64
+	out := make([]float64, len(s))
+	for i, v := range s {
+		d := v - m
+		out[i] = d
+		norm += d * d
+	}
+	if norm <= 1e-18*float64(len(s))*(m*m+1) {
+		return nil
+	}
+	inv := 1 / math.Sqrt(norm)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var acc float64
+	for i := 0; i < n; i++ {
+		acc += a[i] * b[i]
+	}
+	return acc
+}

@@ -1,0 +1,327 @@
+// Package sqltemplate turns raw SQL statements into SQL templates (digests):
+// structurally identical statements with different literal values share one
+// template (Definition II.3 of the paper). A template is identified by a
+// short hex SQL ID derived from an FNV hash of the normalized text, matching
+// the query-log presentation in Fig. 1.
+package sqltemplate
+
+import (
+	"hash/fnv"
+	"strings"
+	"unicode"
+)
+
+// Placeholder is the token substituted for every literal value.
+const Placeholder = "?"
+
+// ID is the unique identifier of a SQL template, a short uppercase hex
+// string such as "2304A84F".
+type ID string
+
+// Template is a normalized SQL statement plus its identity.
+type Template struct {
+	ID   ID     // hash of the normalized text
+	Text string // normalized statement with literals replaced by '?'
+}
+
+// Normalize rewrites a SQL statement into its template text: string and
+// numeric literals become '?', IN (...) lists collapse to IN (?), whitespace
+// is squeezed, and keywords are uppercased outside of (former) literals.
+// Normalization is idempotent: Normalize(Normalize(s)) == Normalize(s).
+func Normalize(sql string) string {
+	tokens := tokenize(sql)
+	tokens = collapseInLists(tokens)
+	var b strings.Builder
+	b.Grow(len(sql))
+	for i, tok := range tokens {
+		if i > 0 && needsSpace(tokens[i-1], tok) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tok)
+	}
+	return b.String()
+}
+
+// New builds the Template for a raw SQL statement.
+func New(sql string) Template {
+	text := Normalize(sql)
+	return Template{ID: HashID(text), Text: text}
+}
+
+// HashID computes the SQL ID of already-normalized template text.
+func HashID(normalized string) ID {
+	h := fnv.New32a()
+	h.Write([]byte(normalized))
+	const hexdigits = "0123456789ABCDEF"
+	sum := h.Sum32()
+	var buf [8]byte
+	for i := 7; i >= 0; i-- {
+		buf[i] = hexdigits[sum&0xF]
+		sum >>= 4
+	}
+	return ID(buf[:])
+}
+
+// tokenize splits SQL into normalized tokens: keywords/identifiers
+// (uppercased keywords, identifiers preserved), literals (replaced by '?'),
+// and punctuation.
+func tokenize(sql string) []string {
+	var tokens []string
+	i := 0
+	n := len(sql)
+	for i < n {
+		c := sql[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'' || c == '"':
+			// String literal; honor backslash and doubled-quote escapes.
+			i = skipString(sql, i)
+			tokens = append(tokens, Placeholder)
+		case c == '`':
+			// Quoted identifier: keep verbatim (case-sensitive). An
+			// identifier cannot span lines, so an unterminated quote
+			// ends at the line break.
+			j := i + 1
+			for j < n && sql[j] != '`' && sql[j] != '\n' && sql[j] != '\r' && sql[j] != '\t' {
+				j++
+			}
+			if j < n && sql[j] == '`' {
+				j++
+			}
+			tokens = append(tokens, sql[i:j])
+			i = j
+		case isDigit(c) && !prevIsIdentifier(tokens):
+			// Numeric literal (integer, decimal, scientific, hex).
+			i = skipNumber(sql, i)
+			tokens = append(tokens, Placeholder)
+		case c == '-' && i+1 < n && sql[i+1] == '-':
+			// Line comment: drop entirely.
+			for i < n && sql[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && sql[i+1] == '*':
+			// Block comment: drop entirely.
+			j := i + 2
+			for j+1 < n && !(sql[j] == '*' && sql[j+1] == '/') {
+				j++
+			}
+			if j+1 < n {
+				j += 2
+			} else {
+				j = n
+			}
+			i = j
+		case isIdentStart(c):
+			j := i
+			for j < n && isIdentPart(sql[j]) {
+				j++
+			}
+			word := sql[i:j]
+			if isKeyword(word) {
+				tokens = append(tokens, strings.ToUpper(word))
+			} else {
+				tokens = append(tokens, word)
+			}
+			i = j
+		case (c == '-' || c == '+') && i+1 < n && isDigit(sql[i+1]) && startsLiteralContext(tokens):
+			// Signed numeric literal after an operator/comparison.
+			i = skipNumber(sql, i+1)
+			tokens = append(tokens, Placeholder)
+		default:
+			// Punctuation / operator, possibly multi-char (<=, >=, <>, !=).
+			j := i + 1
+			if j < n && isComparisonPair(sql[i], sql[j]) {
+				j++
+			}
+			tokens = append(tokens, sql[i:j])
+			i = j
+		}
+	}
+	return tokens
+}
+
+func skipString(sql string, i int) int {
+	quote := sql[i]
+	n := len(sql)
+	j := i + 1
+	for j < n {
+		switch sql[j] {
+		case '\\':
+			j += 2
+			continue
+		case quote:
+			if j+1 < n && sql[j+1] == quote { // doubled-quote escape
+				j += 2
+				continue
+			}
+			return j + 1
+		}
+		j++
+	}
+	return n
+}
+
+func skipNumber(sql string, i int) int {
+	n := len(sql)
+	j := i
+	if j+1 < n && sql[j] == '0' && (sql[j+1] == 'x' || sql[j+1] == 'X') {
+		j += 2
+		for j < n && isHexDigit(sql[j]) {
+			j++
+		}
+		return j
+	}
+	for j < n && (isDigit(sql[j]) || sql[j] == '.') {
+		j++
+	}
+	if j < n && (sql[j] == 'e' || sql[j] == 'E') {
+		k := j + 1
+		if k < n && (sql[k] == '+' || sql[k] == '-') {
+			k++
+		}
+		if k < n && isDigit(sql[k]) {
+			for k < n && isDigit(sql[k]) {
+				k++
+			}
+			j = k
+		}
+	}
+	return j
+}
+
+// collapseInLists rewrites "IN ( ? , ? , ? )" token runs into "IN ( ? )" so
+// queries differing only in IN-list arity share a template.
+func collapseInLists(tokens []string) []string {
+	out := make([]string, 0, len(tokens))
+	i := 0
+	for i < len(tokens) {
+		if strings.EqualFold(tokens[i], "IN") && i+2 < len(tokens) && tokens[i+1] == "(" {
+			// Check that the parenthesized run is only placeholders and commas.
+			j := i + 2
+			onlyPlaceholders := false
+			for j < len(tokens) {
+				if tokens[j] == ")" {
+					onlyPlaceholders = j > i+2
+					break
+				}
+				if tokens[j] != Placeholder && tokens[j] != "," {
+					break
+				}
+				j++
+			}
+			if onlyPlaceholders && j < len(tokens) && tokens[j] == ")" {
+				out = append(out, "IN", "(", Placeholder, ")")
+				i = j + 1
+				continue
+			}
+		}
+		out = append(out, tokens[i])
+		i++
+	}
+	return out
+}
+
+// needsSpace decides whether two adjacent tokens need a separating space in
+// the rendered template.
+func needsSpace(prev, cur string) bool {
+	if cur == "," || cur == ")" || cur == ";" {
+		return false
+	}
+	if prev == "(" || prev == "." {
+		return false
+	}
+	if cur == "." {
+		return false
+	}
+	if cur == "(" {
+		// Tight call syntax only after function names: COUNT(*), SUM(x).
+		return !isFunctionName(prev)
+	}
+	return true
+}
+
+// isFunctionName reports whether tok is a SQL function that renders with a
+// tight opening parenthesis.
+func isFunctionName(tok string) bool {
+	switch strings.ToUpper(tok) {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX", "COALESCE", "IFNULL",
+		"NOW", "DATE", "LENGTH", "LOWER", "UPPER", "SUBSTR", "CONCAT":
+		return true
+	}
+	return false
+}
+
+func isWordToken(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	return isIdentStart(tok[0]) || tok[0] == '`'
+}
+
+func prevIsIdentifier(tokens []string) bool {
+	if len(tokens) == 0 {
+		return false
+	}
+	last := tokens[len(tokens)-1]
+	// A digit directly following an identifier tail is part of the
+	// identifier-ish stream (e.g. table names like user_1 already consumed);
+	// tokenize only reaches here when the digit starts a new token, so the
+	// relevant case is "identifier <space> 123" which IS a literal. Only a
+	// dot joining means it's a qualified part, handled by ident scanning.
+	return last == "."
+}
+
+func startsLiteralContext(tokens []string) bool {
+	if len(tokens) == 0 {
+		return true
+	}
+	switch tokens[len(tokens)-1] {
+	case "=", "<", ">", "<=", ">=", "<>", "!=", "(", ",", "+", "-", "*", "/":
+		return true
+	}
+	return false
+}
+
+func isDigit(c byte) bool    { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool { return isDigit(c) || (c|0x20 >= 'a' && c|0x20 <= 'f') }
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || unicode.IsLetter(rune(c))
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isComparisonPair(a, b byte) bool {
+	switch {
+	case a == '<' && (b == '=' || b == '>'):
+		return true
+	case a == '>' && b == '=':
+		return true
+	case a == '!' && b == '=':
+		return true
+	case a == ':' && b == '=':
+		return true
+	}
+	return false
+}
+
+// keywords is the set of SQL keywords uppercased during normalization. It
+// intentionally covers the dialect the workload generator emits plus common
+// MySQL DDL/DML; unlisted words are treated as identifiers and preserved.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "IN": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"UPDATE": true, "SET": true, "DELETE": true, "JOIN": true, "INNER": true,
+	"LEFT": true, "RIGHT": true, "OUTER": true, "ON": true, "GROUP": true,
+	"BY": true, "ORDER": true, "HAVING": true, "LIMIT": true, "OFFSET": true,
+	"AS": true, "DISTINCT": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "LIKE": true, "BETWEEN": true, "IS": true,
+	"NULL": true, "ASC": true, "DESC": true, "UNION": true, "ALL": true,
+	"CREATE": true, "ALTER": true, "DROP": true, "TABLE": true, "INDEX": true,
+	"ADD": true, "COLUMN": true, "PRIMARY": true, "KEY": true, "FOREIGN": true,
+	"REFERENCES": true, "BEGIN": true, "COMMIT": true, "ROLLBACK": true,
+	"FOR": true, "SHOW": true, "STATUS": true, "EXISTS": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "IF": true,
+	"TRUNCATE": true, "REPLACE": true, "LOCK": true, "UNLOCK": true,
+}
+
+func isKeyword(word string) bool { return keywords[strings.ToUpper(word)] }

@@ -1,0 +1,235 @@
+package sqltemplate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeBasicSelect(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		want string
+	}{
+		{
+			"paper example",
+			"SELECT * FROM user_table WHERE uid = 123456",
+			"SELECT * FROM user_table WHERE uid = ?",
+		},
+		{
+			"string literal",
+			"select name from users where city = 'Hangzhou'",
+			"SELECT name FROM users WHERE city = ?",
+		},
+		{
+			"double-quoted literal",
+			`SELECT a FROM t WHERE b = "x"`,
+			"SELECT a FROM t WHERE b = ?",
+		},
+		{
+			"whitespace squeeze",
+			"SELECT   *\n\tFROM  t  WHERE a=1",
+			"SELECT * FROM t WHERE a = ?",
+		},
+		{
+			"decimal and scientific",
+			"SELECT * FROM t WHERE a = 1.5 AND b = 2e10",
+			"SELECT * FROM t WHERE a = ? AND b = ?",
+		},
+		{
+			"hex literal",
+			"SELECT * FROM t WHERE a = 0xFF",
+			"SELECT * FROM t WHERE a = ?",
+		},
+		{
+			"negative literal",
+			"SELECT * FROM t WHERE a = -5",
+			"SELECT * FROM t WHERE a = ?",
+		},
+		{
+			"update",
+			"UPDATE sales SET amount = 99 WHERE id = 7",
+			"UPDATE sales SET amount = ? WHERE id = ?",
+		},
+		{
+			"insert values",
+			"INSERT INTO orders (id, total) VALUES (1, 250.00)",
+			"INSERT INTO orders (id, total) VALUES (?, ?)",
+		},
+		{
+			"ddl untouched identifiers",
+			"ALTER TABLE sales ADD COLUMN note varchar",
+			"ALTER TABLE sales ADD COLUMN note varchar",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Normalize(tc.in); got != tc.want {
+				t.Errorf("Normalize(%q) = %q, want %q", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestNormalizeInListCollapse(t *testing.T) {
+	a := Normalize("SELECT * FROM t WHERE id IN (1, 2, 3)")
+	b := Normalize("SELECT * FROM t WHERE id IN (4)")
+	c := Normalize("SELECT * FROM t WHERE id IN (5, 6, 7, 8, 9, 10)")
+	if a != b || b != c {
+		t.Errorf("IN-lists did not collapse: %q / %q / %q", a, b, c)
+	}
+	if !strings.Contains(a, "IN (?)") {
+		t.Errorf("collapsed form = %q, want to contain IN (?)", a)
+	}
+}
+
+func TestNormalizeCommentsDropped(t *testing.T) {
+	got := Normalize("SELECT * FROM t -- trailing comment\nWHERE a = 1 /* block */ AND b = 2")
+	want := "SELECT * FROM t WHERE a = ? AND b = ?"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestNormalizeEscapedStrings(t *testing.T) {
+	tests := []string{
+		`SELECT * FROM t WHERE a = 'it''s'`,
+		`SELECT * FROM t WHERE a = 'it\'s'`,
+		`SELECT * FROM t WHERE a = 'plain'`,
+	}
+	want := Normalize(tests[2])
+	for _, in := range tests {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNormalizeUnterminatedString(t *testing.T) {
+	// Must not panic or loop; the open literal swallows the tail.
+	got := Normalize("SELECT * FROM t WHERE a = 'oops")
+	if !strings.HasSuffix(got, "?") {
+		t.Errorf("got %q, want trailing placeholder", got)
+	}
+}
+
+func TestNormalizeIdentifiersWithDigits(t *testing.T) {
+	got := Normalize("SELECT c1, c2 FROM table_3 WHERE c1 = 10")
+	want := "SELECT c1, c2 FROM table_3 WHERE c1 = ?"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestNormalizeBacktickIdentifiers(t *testing.T) {
+	got := Normalize("SELECT `From` FROM `Order` WHERE `Order`.id = 5")
+	if !strings.Contains(got, "`From`") || !strings.Contains(got, "`Order`") {
+		t.Errorf("backtick identifiers not preserved: %q", got)
+	}
+	if !strings.HasSuffix(got, "= ?") {
+		t.Errorf("literal not replaced: %q", got)
+	}
+}
+
+func TestTemplatesShareID(t *testing.T) {
+	q1 := New("SELECT * FROM user_table WHERE uid = 123456")
+	q2 := New("SELECT * FROM user_table WHERE uid = 654321")
+	q3 := New("SELECT * FROM user_table WHERE uid = 123321")
+	if q1.ID != q2.ID || q2.ID != q3.ID {
+		t.Errorf("IDs differ: %s %s %s", q1.ID, q2.ID, q3.ID)
+	}
+	other := New("SELECT * FROM other_table WHERE uid = 123456")
+	if other.ID == q1.ID {
+		t.Error("different templates must get different IDs")
+	}
+}
+
+func TestHashIDFormat(t *testing.T) {
+	id := HashID("SELECT 1")
+	if len(id) != 8 {
+		t.Fatalf("ID length = %d, want 8", len(id))
+	}
+	for _, r := range id {
+		if !strings.ContainsRune("0123456789ABCDEF", r) {
+			t.Errorf("ID %q contains non-hex rune %q", id, r)
+		}
+	}
+}
+
+func TestNormalizeEmpty(t *testing.T) {
+	if got := Normalize(""); got != "" {
+		t.Errorf("Normalize(\"\") = %q", got)
+	}
+	if got := Normalize("   \n\t  "); got != "" {
+		t.Errorf("Normalize(whitespace) = %q", got)
+	}
+}
+
+// Property: normalization is idempotent.
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	samples := []string{
+		"SELECT * FROM t WHERE a = %d AND b = '%d'",
+		"UPDATE inv SET qty = qty - %d WHERE sku = %d",
+		"INSERT INTO log (msg, ts) VALUES ('%d', %d)",
+		"SELECT a, b FROM t1 JOIN t2 ON t1.id = t2.id WHERE t1.x IN (%d, %d)",
+		"DELETE FROM t WHERE created < %d LIMIT %d",
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tpl := samples[r.Intn(len(samples))]
+		sql := strings.NewReplacer("%d", itoa(r.Intn(1_000_000))).Replace(tpl)
+		once := Normalize(sql)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: templates are invariant to the literal values used.
+func TestTemplateLiteralInvarianceProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		s1 := "SELECT name FROM users WHERE uid = " + itoa(int(a%1e6)) + " AND age > " + itoa(int(b%120))
+		s2 := "SELECT name FROM users WHERE uid = " + itoa(int(b%1e6)) + " AND age > " + itoa(int(a%120))
+		return New(s1).ID == New(s2).ID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize never panics on arbitrary byte soup and always returns
+// printable single-line-ish output (no tabs/newlines).
+func TestNormalizeArbitraryInputProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		out := Normalize(string(raw))
+		return !strings.ContainsAny(out, "\n\t\r")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

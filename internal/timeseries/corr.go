@@ -1,0 +1,127 @@
+package timeseries
+
+import "math"
+
+// Corr returns the Pearson correlation coefficient between x and y (§V,
+// "Correlation Coefficient"). When either series has zero variance the
+// correlation is undefined; we return 0, which in every PinSQL use site
+// means "no evidence of relationship" and keeps scores bounded.
+func Corr(x, y Series) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrLengthMismatch
+	}
+	if len(x) == 0 {
+		return 0, nil
+	}
+	mx, my := x.Mean(), y.Mean()
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	n := float64(len(x))
+	if degenerate(sxx, n, mx) || degenerate(syy, n, my) {
+		return 0, nil
+	}
+	return clampCorr(sxy / math.Sqrt(sxx*syy)), nil
+}
+
+// degenerate reports whether a sum of squared deviations is zero for all
+// practical purposes: exactly zero, or so small relative to the magnitude
+// of the data that it is rounding noise from the mean subtraction. Without
+// this, two constant series correlate "perfectly" through their shared
+// float rounding pattern.
+func degenerate(ss, weight, mean float64) bool {
+	return ss <= 1e-18*weight*(mean*mean+1)
+}
+
+// WeightedCorr returns the weighted Pearson correlation between x and y
+// under the non-negative weight vector w, computed with the weighted
+// covariance of §V:
+//
+//	cov(X,Y;W) = Σᵢ wᵢ·(xᵢ−m(X;W))·(yᵢ−m(Y;W)) / Σᵢ wᵢ
+//
+// Zero total weight or zero weighted variance yields 0.
+func WeightedCorr(x, y, w Series) (float64, error) {
+	if len(x) != len(y) || len(x) != len(w) {
+		return 0, ErrLengthMismatch
+	}
+	if len(x) == 0 {
+		return 0, nil
+	}
+	var wsum float64
+	for _, wi := range w {
+		wsum += wi
+	}
+	if wsum == 0 {
+		return 0, nil
+	}
+	var mx, my float64
+	for i := range x {
+		mx += w[i] * x[i]
+		my += w[i] * y[i]
+	}
+	mx /= wsum
+	my /= wsum
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxy += w[i] * dx * dy
+		sxx += w[i] * dx * dx
+		syy += w[i] * dy * dy
+	}
+	if degenerate(sxx, wsum, mx) || degenerate(syy, wsum, my) {
+		return 0, nil
+	}
+	return clampCorr(sxy / math.Sqrt(sxx*syy)), nil
+}
+
+// clampCorr guards against floating-point drift pushing a correlation a few
+// ulps outside [-1, 1].
+func clampCorr(c float64) float64 {
+	switch {
+	case c > 1:
+		return 1
+	case c < -1:
+		return -1
+	case math.IsNaN(c):
+		return 0
+	}
+	return c
+}
+
+// Sigmoid is the logistic function σ(x) = 1/(1+e^−x).
+func Sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// SigmoidWeight builds the smooth anomaly-emphasis weight of §V:
+//
+//	W_t = σ((t−a_s)/k_s) + σ((a_e−t)/k_s) − 1,  t ∈ [0, n)
+//
+// where [as, ae) is the anomaly window in index units and ks > 0 is the
+// smooth factor. As ks→0 the weight approaches the indicator of [as, ae);
+// as ks→∞ it approaches the all-ones vector (Eq. 1 of the paper).
+func SigmoidWeight(n, as, ae int, ks float64) Series {
+	w := make(Series, n)
+	if ks <= 0 {
+		// Degenerate limit: indicator of the anomaly window.
+		for t := range w {
+			if t >= as && t < ae {
+				w[t] = 1
+			}
+		}
+		return w
+	}
+	for t := range w {
+		ft := float64(t)
+		v := Sigmoid((ft-float64(as))/ks) + Sigmoid((float64(ae)-ft)/ks) - 1
+		if v < 0 {
+			v = 0
+		}
+		w[t] = v
+	}
+	return w
+}

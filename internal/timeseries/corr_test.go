@@ -1,0 +1,230 @@
+package timeseries
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCorrBasic(t *testing.T) {
+	tests := []struct {
+		name string
+		x, y Series
+		want float64
+	}{
+		{"perfect positive", Series{1, 2, 3, 4}, Series{2, 4, 6, 8}, 1},
+		{"perfect negative", Series{1, 2, 3, 4}, Series{8, 6, 4, 2}, -1},
+		{"shifted positive", Series{1, 2, 3}, Series{11, 12, 13}, 1},
+		{"constant x", Series{5, 5, 5}, Series{1, 2, 3}, 0},
+		{"constant y", Series{1, 2, 3}, Series{5, 5, 5}, 0},
+		{"empty", Series{}, Series{}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Corr(tc.x, tc.y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !almostEqual(got, tc.want, 1e-9) {
+				t.Errorf("Corr = %v, want %v", got, tc.want)
+			}
+		})
+	}
+	if _, err := Corr(Series{1}, Series{1, 2}); err != ErrLengthMismatch {
+		t.Errorf("length mismatch error = %v", err)
+	}
+}
+
+func TestCorrUncorrelated(t *testing.T) {
+	// Orthogonal patterns: x alternates around its mean independent of y.
+	x := Series{1, -1, 1, -1}
+	y := Series{1, 1, -1, -1}
+	got, err := Corr(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 0, 1e-12) {
+		t.Errorf("Corr = %v, want 0", got)
+	}
+}
+
+func TestWeightedCorrUniformEqualsPlain(t *testing.T) {
+	x := Series{1, 3, 2, 5, 4, 7}
+	y := Series{2, 5, 3, 9, 8, 13}
+	w := Series{1, 1, 1, 1, 1, 1}
+	plain, err := Corr(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := WeightedCorr(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(plain, weighted, 1e-12) {
+		t.Errorf("uniform WeightedCorr = %v, plain Corr = %v", weighted, plain)
+	}
+}
+
+func TestWeightedCorrZeroWeight(t *testing.T) {
+	x := Series{1, 2, 3}
+	y := Series{4, 5, 6}
+	got, err := WeightedCorr(x, y, Series{0, 0, 0})
+	if err != nil || got != 0 {
+		t.Errorf("zero-weight corr = %v, %v; want 0, nil", got, err)
+	}
+}
+
+func TestWeightedCorrSelectsWindow(t *testing.T) {
+	// Inside the window x and y move together; outside they oppose. A
+	// weight that selects only the window must report strong positive
+	// correlation.
+	x := Series{1, 2, 1, 10, 20, 30, 1, 2, 1}
+	y := Series{2, 1, 2, 11, 21, 31, 2, 1, 2}
+	w := Series{0, 0, 0, 1, 1, 1, 0, 0, 0}
+	got, err := WeightedCorr(x, y, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.99 {
+		t.Errorf("windowed corr = %v, want ≈ 1", got)
+	}
+}
+
+func TestWeightedCorrMismatch(t *testing.T) {
+	if _, err := WeightedCorr(Series{1, 2}, Series{1, 2}, Series{1}); err != ErrLengthMismatch {
+		t.Errorf("error = %v, want ErrLengthMismatch", err)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if !almostEqual(Sigmoid(0), 0.5, 1e-12) {
+		t.Errorf("Sigmoid(0) = %v", Sigmoid(0))
+	}
+	if Sigmoid(100) < 0.999 || Sigmoid(-100) > 0.001 {
+		t.Error("Sigmoid saturation incorrect")
+	}
+}
+
+func TestSigmoidWeightShape(t *testing.T) {
+	n, as, ae := 100, 40, 60
+	w := SigmoidWeight(n, as, ae, 3)
+	// Peak inside the anomaly window, low far outside.
+	mid := w[(as+ae)/2]
+	if mid < 0.9 {
+		t.Errorf("weight at window center = %v, want ≥ 0.9", mid)
+	}
+	if w[0] > 0.01 || w[n-1] > 0.01 {
+		t.Errorf("weight at edges = %v / %v, want ≈ 0", w[0], w[n-1])
+	}
+	// Non-negative everywhere and ≤ 1 + eps.
+	for i, v := range w {
+		if v < 0 || v > 1+1e-9 {
+			t.Errorf("weight[%d] = %v out of [0,1]", i, v)
+		}
+	}
+	// Rising before window start, falling after window end.
+	if !(w[as-10] < w[as-1]) {
+		t.Error("weight should rise approaching the anomaly window")
+	}
+	if !(w[ae+1] > w[ae+10]) {
+		t.Error("weight should fall after the anomaly window")
+	}
+}
+
+func TestSigmoidWeightLimits(t *testing.T) {
+	n, as, ae := 50, 20, 30
+	// ks → 0 behaves like the indicator of [as, ae) (Eq. 1).
+	w0 := SigmoidWeight(n, as, ae, 0)
+	for i, v := range w0 {
+		want := 0.0
+		if i >= as && i < ae {
+			want = 1
+		}
+		if v != want {
+			t.Errorf("ks=0 weight[%d] = %v, want %v", i, v, want)
+		}
+	}
+	// ks → ∞ flattens to a (tiny) uniform weight ≈ (ae−as)/(4·ks); what
+	// matters for the paper's Eq. 1 is that the weighting degenerates to
+	// plain Pearson, i.e. the weights become equal, not their magnitude.
+	wInf := SigmoidWeight(n, as, ae, 1e9)
+	for i, v := range wInf {
+		if v <= 0 || !almostEqual(v, wInf[0], wInf[0]*1e-3) {
+			t.Errorf("ks→∞ weight[%d] = %v, want uniform ≈ %v", i, v, wInf[0])
+		}
+	}
+}
+
+// Property: Pearson correlation is symmetric, bounded, and invariant to
+// positive affine transforms.
+func TestCorrProperties(t *testing.T) {
+	f := func(xs, ys []float64, scale float64, shift float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		x := sanitize(xs[:n])
+		y := sanitize(ys[:n])
+		n = len(x)
+		if len(y) < n {
+			n = len(y)
+		}
+		x, y = x[:n], y[:n]
+		cxy, err1 := Corr(x, y)
+		cyx, err2 := Corr(y, x)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if cxy < -1 || cxy > 1 || !almostEqual(cxy, cyx, 1e-9) {
+			return false
+		}
+		// Positive affine invariance.
+		k := math.Abs(math.Mod(scale, 100)) + 0.5
+		b := math.Mod(shift, 1000)
+		x2 := make(Series, n)
+		for i := range x {
+			x2[i] = k*x[i] + b
+		}
+		c2, err := Corr(x2, y)
+		if err != nil {
+			return false
+		}
+		return almostEqual(cxy, c2, 1e-6)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weighted Pearson with the large-ks sigmoid weight matches plain
+// Pearson (the ks→∞ limit of §V).
+func TestWeightedCorrLimitProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		x := sanitize(xs[:n])
+		y := sanitize(ys[:n])
+		n = len(x)
+		if len(y) < n {
+			n = len(y)
+		}
+		x, y = x[:n], y[:n]
+		if n < 3 {
+			return true
+		}
+		// ks large relative to n but small enough that σ(a)+σ(b)−1 does
+		// not lose all significance to cancellation around 0.5.
+		w := SigmoidWeight(n, n/3, 2*n/3, 1e6)
+		plain, err1 := Corr(x, y)
+		weighted, err2 := WeightedCorr(x, y, w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(plain, weighted, 1e-6)
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,211 @@
+package timeseries
+
+import "math"
+
+// TukeyBounds returns the outlier fences of Tukey's rule with multiplier k
+// (1.5 for "outliers", 3 for "far out"; the paper applies Tukey's rule for
+// efficient history-trend anomaly detection, §VI).
+func (s Series) TukeyBounds(k float64) (lo, hi float64) {
+	q1 := s.Quantile(0.25)
+	q3 := s.Quantile(0.75)
+	iqr := q3 - q1
+	return q1 - k*iqr, q3 + k*iqr
+}
+
+// TukeyOutliers returns the indices of observations outside the Tukey fences
+// with multiplier k.
+func (s Series) TukeyOutliers(k float64) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	lo, hi := s.TukeyBounds(k)
+	var out []int
+	for i, v := range s {
+		if v < lo || v > hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// TukeyUpperOutliers returns the indices of observations above the upper
+// Tukey fence only. R-SQL history verification cares about sudden increases
+// of #execution, not drops (§VI, History Trend Verification).
+func (s Series) TukeyUpperOutliers(k float64) []int {
+	if len(s) == 0 {
+		return nil
+	}
+	_, hi := s.TukeyBounds(k)
+	var out []int
+	for i, v := range s {
+		if v > hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HasUpperAnomaly reports whether any observation inside [lo, hi) exceeds
+// the upper Tukey fence computed from the whole series.
+func (s Series) HasUpperAnomaly(k float64, lo, hi int) bool {
+	if len(s) == 0 {
+		return false
+	}
+	_, fence := s.TukeyBounds(k)
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(s) {
+		hi = len(s)
+	}
+	for i := lo; i < hi; i++ {
+		if s[i] > fence {
+			return true
+		}
+	}
+	return false
+}
+
+// RobustZScores returns per-point robust z-scores based on the median and
+// MAD (scaled by the 1.4826 consistency constant for normal data). A zero
+// MAD falls back to the standard deviation; if that is also zero the scores
+// are all zero.
+func (s Series) RobustZScores() Series {
+	out := make(Series, len(s))
+	if len(s) == 0 {
+		return out
+	}
+	med := s.Median()
+	scale := s.MAD() * 1.4826
+	if scale == 0 {
+		scale = s.Std()
+	}
+	if scale == 0 {
+		return out
+	}
+	for i, v := range s {
+		out[i] = (v - med) / scale
+	}
+	return out
+}
+
+// SpikeDirection classifies the sign of a detected excursion.
+type SpikeDirection int
+
+// Spike directions.
+const (
+	SpikeUp SpikeDirection = iota + 1
+	SpikeDown
+)
+
+// Spike is a contiguous run of points whose robust z-score exceeds a
+// threshold in one direction.
+type Spike struct {
+	Start, End int // half-open index range [Start, End)
+	Direction  SpikeDirection
+	Peak       float64 // most extreme z-score in the run
+}
+
+// DetectSpikes finds maximal runs where |robust z| ≥ threshold. Runs mixing
+// directions are split. This is the "spike up/down" anomalous feature of the
+// Basic Perception Layer (§IV-B).
+func (s Series) DetectSpikes(threshold float64) []Spike {
+	z := s.RobustZScores()
+	var spikes []Spike
+	i := 0
+	for i < len(z) {
+		switch {
+		case z[i] >= threshold:
+			j, peak := i, z[i]
+			for j < len(z) && z[j] >= threshold {
+				if z[j] > peak {
+					peak = z[j]
+				}
+				j++
+			}
+			spikes = append(spikes, Spike{Start: i, End: j, Direction: SpikeUp, Peak: peak})
+			i = j
+		case z[i] <= -threshold:
+			j, peak := i, z[i]
+			for j < len(z) && z[j] <= -threshold {
+				if z[j] < peak {
+					peak = z[j]
+				}
+				j++
+			}
+			spikes = append(spikes, Spike{Start: i, End: j, Direction: SpikeDown, Peak: peak})
+			i = j
+		default:
+			i++
+		}
+	}
+	return spikes
+}
+
+// LevelShift is a sustained mean change detected at index At: the mean of
+// the window after At differs from the mean of the window before it by more
+// than threshold robust scales ("level shift up/down", §IV-B).
+type LevelShift struct {
+	At        int
+	Direction SpikeDirection
+	Delta     float64 // after-mean minus before-mean
+}
+
+// DetectLevelShifts scans s with symmetric windows of the given size and
+// reports points where the windowed mean jumps by at least threshold times
+// the robust scale of the series. Adjacent detections are collapsed to the
+// point of largest |Delta|.
+func (s Series) DetectLevelShifts(window int, threshold float64) []LevelShift {
+	if window <= 0 || len(s) < 2*window {
+		return nil
+	}
+	// Scale from the first differences: a level shift inflates the raw
+	// series' MAD but barely moves the MAD of point-to-point changes, so
+	// this stays sensitive even when the shift dominates the trace.
+	diff := make(Series, len(s)-1)
+	for i := 1; i < len(s); i++ {
+		diff[i-1] = s[i] - s[i-1]
+	}
+	scale := diff.MAD() * 1.4826
+	if scale == 0 {
+		scale = diff.Std()
+	}
+	if scale == 0 {
+		return nil
+	}
+	minDelta := threshold * scale
+
+	var shifts []LevelShift
+	best := LevelShift{}
+	inRun := false
+	flush := func() {
+		if inRun {
+			shifts = append(shifts, best)
+			inRun = false
+		}
+	}
+	for t := window; t+window <= len(s); t++ {
+		before := Series(s[t-window : t]).Mean()
+		after := Series(s[t : t+window]).Mean()
+		delta := after - before
+		if math.Abs(delta) < minDelta {
+			flush()
+			continue
+		}
+		dir := SpikeUp
+		if delta < 0 {
+			dir = SpikeDown
+		}
+		if inRun && dir == best.Direction {
+			if math.Abs(delta) > math.Abs(best.Delta) {
+				best = LevelShift{At: t, Direction: dir, Delta: delta}
+			}
+			continue
+		}
+		flush()
+		best = LevelShift{At: t, Direction: dir, Delta: delta}
+		inRun = true
+	}
+	flush()
+	return shifts
+}

@@ -1,0 +1,186 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTukeyBounds(t *testing.T) {
+	s := Series{1, 2, 3, 4, 5, 6, 7, 8}
+	lo, hi := s.TukeyBounds(1.5)
+	// Q1 = 2.75, Q3 = 6.25, IQR = 3.5 → fences at -2.5 and 11.5.
+	if !almostEqual(lo, -2.5, 1e-9) || !almostEqual(hi, 11.5, 1e-9) {
+		t.Errorf("bounds = (%v, %v), want (-2.5, 11.5)", lo, hi)
+	}
+}
+
+func TestTukeyOutliers(t *testing.T) {
+	base := make(Series, 50)
+	for i := range base {
+		base[i] = 10 + float64(i%3)
+	}
+	base[25] = 500
+	base[40] = -500
+	out := base.TukeyOutliers(1.5)
+	if len(out) != 2 || out[0] != 25 || out[1] != 40 {
+		t.Errorf("outliers = %v, want [25 40]", out)
+	}
+	upper := base.TukeyUpperOutliers(1.5)
+	if len(upper) != 1 || upper[0] != 25 {
+		t.Errorf("upper outliers = %v, want [25]", upper)
+	}
+	if got := (Series{}).TukeyOutliers(1.5); got != nil {
+		t.Errorf("empty outliers = %v, want nil", got)
+	}
+}
+
+func TestHasUpperAnomaly(t *testing.T) {
+	s := make(Series, 100)
+	for i := range s {
+		s[i] = 5 + float64(i%2)
+	}
+	s[70] = 1000
+	if !s.HasUpperAnomaly(3, 60, 80) {
+		t.Error("expected anomaly inside [60,80)")
+	}
+	if s.HasUpperAnomaly(3, 0, 60) {
+		t.Error("no anomaly expected inside [0,60)")
+	}
+	// Window clamping: out-of-range bounds must not panic.
+	if !s.HasUpperAnomaly(3, -10, 1000) {
+		t.Error("clamped full-range scan should find the anomaly")
+	}
+	if (Series{}).HasUpperAnomaly(3, 0, 10) {
+		t.Error("empty series cannot have anomalies")
+	}
+}
+
+func TestRobustZScoresDegenerate(t *testing.T) {
+	flat := Series{7, 7, 7, 7}
+	for i, z := range flat.RobustZScores() {
+		if z != 0 {
+			t.Errorf("flat z[%d] = %v, want 0", i, z)
+		}
+	}
+	if got := (Series{}).RobustZScores(); len(got) != 0 {
+		t.Errorf("empty z-scores length = %d", len(got))
+	}
+	// Zero MAD but nonzero std: one extreme value among constants.
+	s := Series{5, 5, 5, 5, 5, 5, 5, 100}
+	z := s.RobustZScores()
+	if z[7] <= 0 {
+		t.Errorf("outlier z = %v, want > 0", z[7])
+	}
+}
+
+func TestDetectSpikes(t *testing.T) {
+	s := make(Series, 60)
+	for i := range s {
+		s[i] = 10 + float64(i%2)
+	}
+	for i := 30; i < 35; i++ {
+		s[i] = 100
+	}
+	s[50] = -80
+	spikes := s.DetectSpikes(6)
+	if len(spikes) != 2 {
+		t.Fatalf("spikes = %+v, want 2", spikes)
+	}
+	up := spikes[0]
+	if up.Direction != SpikeUp || up.Start != 30 || up.End != 35 {
+		t.Errorf("up spike = %+v", up)
+	}
+	down := spikes[1]
+	if down.Direction != SpikeDown || down.Start != 50 || down.End != 51 {
+		t.Errorf("down spike = %+v", down)
+	}
+	if up.Peak <= 0 || down.Peak >= 0 {
+		t.Errorf("peaks = %v / %v", up.Peak, down.Peak)
+	}
+}
+
+func TestDetectSpikesNone(t *testing.T) {
+	s := Series{1, 2, 1, 2, 1, 2}
+	if got := s.DetectSpikes(10); len(got) != 0 {
+		t.Errorf("spikes = %+v, want none", got)
+	}
+}
+
+func TestDetectLevelShifts(t *testing.T) {
+	s := make(Series, 120)
+	for i := range s {
+		if i < 60 {
+			s[i] = 10 + float64(i%2)
+		} else {
+			s[i] = 40 + float64(i%2)
+		}
+	}
+	shifts := s.DetectLevelShifts(10, 3)
+	if len(shifts) == 0 {
+		t.Fatal("expected a level shift")
+	}
+	found := false
+	for _, sh := range shifts {
+		if sh.Direction == SpikeUp && sh.At >= 50 && sh.At <= 70 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("shifts = %+v, want an up-shift near t=60", shifts)
+	}
+}
+
+func TestDetectLevelShiftsDegenerate(t *testing.T) {
+	if got := (Series{1, 2}).DetectLevelShifts(5, 3); got != nil {
+		t.Errorf("short series shifts = %v", got)
+	}
+	flat := make(Series, 50)
+	if got := flat.DetectLevelShifts(5, 3); got != nil {
+		t.Errorf("flat series shifts = %v", got)
+	}
+}
+
+// Property: widening the Tukey multiplier never finds more outliers.
+func TestTukeyMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, k1, k2 float64) bool {
+		s := sanitize(vals)
+		a := absMod(k1, 5)
+		b := absMod(k2, 5)
+		if a > b {
+			a, b = b, a
+		}
+		return len(s.TukeyOutliers(b)) <= len(s.TukeyOutliers(a))
+	}
+	if err := quick.Check(f, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every spike's index range is valid and within bounds, and spike
+// runs never overlap.
+func TestSpikeRangesProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		s := sanitize(vals)
+		spikes := s.DetectSpikes(3)
+		prevEnd := 0
+		for _, sp := range spikes {
+			if sp.Start < prevEnd || sp.End <= sp.Start || sp.End > len(s) {
+				return false
+			}
+			prevEnd = sp.End
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Error(err)
+	}
+}
+
+func absMod(v, m float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	return math.Abs(math.Mod(v, m))
+}

@@ -1,0 +1,211 @@
+package workload
+
+import (
+	"fmt"
+
+	"pinsql/internal/dbsim"
+	"pinsql/internal/sqltemplate"
+)
+
+// AnomalyKind is the paper's R-SQL taxonomy (§II).
+type AnomalyKind int
+
+// The four injected anomaly families.
+const (
+	// KindBusinessSpike: business scenario change — one service's QPS
+	// multiplies (category 1).
+	KindBusinessSpike AnomalyKind = iota
+	// KindPoorSQL: a newly deployed statement with a pathological plan
+	// saturates the CPU (category 2).
+	KindPoorSQL
+	// KindLockStorm: a burst of hot-key UPDATEs takes exclusive row locks
+	// and blocks readers of the same rows (category 3-ii).
+	KindLockStorm
+	// KindMDL: a long DDL freezes a hot table behind its metadata lock
+	// (category 3-i).
+	KindMDL
+)
+
+// String names the anomaly family.
+func (k AnomalyKind) String() string {
+	switch k {
+	case KindBusinessSpike:
+		return "business_spike"
+	case KindPoorSQL:
+		return "poor_sql"
+	case KindLockStorm:
+		return "lock_storm"
+	case KindMDL:
+		return "mdl_lock"
+	}
+	return "unknown"
+}
+
+// Anomaly records an installed injection: the ground-truth R-SQLs and the
+// true disturbance window.
+type Anomaly struct {
+	Kind    AnomalyKind
+	RSQLs   []sqltemplate.ID // ground truth, "labeled by the DBA"
+	StartMs int64
+	EndMs   int64
+	Table   string // affected table, when applicable
+}
+
+// InjectBusinessSpike multiplies one service's request rate by factor over
+// [startMs, endMs) — a business scenario change (§II category 1, e.g. a
+// flash sale). Ground-truth R-SQLs are every statement of the spiked
+// business: the root cause is the workload change itself, and the DBA
+// labels the templates whose #execution suddenly multiplied.
+func (w *World) InjectBusinessSpike(svc *Service, factor float64, startMs, endMs int64) Anomaly {
+	window := func(tMs int64) bool { return tMs >= startMs && tMs < endMs }
+	prev := svc.SpikeFactor
+	svc.SpikeFactor = func(tMs int64) float64 {
+		f := 1.0
+		if prev != nil {
+			f = prev(tMs)
+		}
+		if window(tMs) {
+			f *= factor
+		}
+		return f
+	}
+	if factor > w.maxSpike {
+		w.maxSpike = factor
+	}
+
+	rsqls := make([]sqltemplate.ID, 0, len(svc.Specs))
+	for _, s := range svc.Specs {
+		rsqls = append(rsqls, s.ID())
+	}
+	a := Anomaly{Kind: KindBusinessSpike, RSQLs: rsqls, StartMs: startMs, EndMs: endMs}
+	w.anomalies = append(w.anomalies, a)
+	return a
+}
+
+// InjectPoorSQL deploys a new statement on the service from startMs onward
+// (poor SQLs persist until repaired): a full scan with a huge examined-rows
+// footprint and heavy service demand. rps is its absolute arrival rate.
+func (w *World) InjectPoorSQL(svc *Service, table string, rps float64, startMs int64) Anomaly {
+	spec := w.AddSpec(svc, Spec{
+		Name:    "poor-scan-" + table,
+		Pattern: "SELECT o.*, x.* FROM " + table + " o JOIN " + table + "_audit x ON o.ref = x.ref WHERE o.note LIKE '%@%'",
+		Table:   table,
+		Kind:    dbsim.KindSelect,
+		// Absolute rate: divide out the service modulation baseline.
+		CallsPerRequest: rps / svc.BaseRPS,
+		ServiceMs:       1100, // a 2M-row join scan: seconds per execution
+		ServiceJitter:   0.3,
+		ExaminedRows:    2_000_000,
+		RowsJitter:      0.2,
+		IOOps:           400,
+		ActiveFromMs:    startMs,
+	})
+	a := Anomaly{Kind: KindPoorSQL, RSQLs: []sqltemplate.ID{spec.ID()}, StartMs: startMs, EndMs: 0, Table: table}
+	w.anomalies = append(w.anomalies, a)
+	return a
+}
+
+// InjectLockStorm models the paper's canonical row-lock anomaly (§I
+// Challenge III): a batch job inside an existing business starts hammering
+// the hot key range of a table with exclusive-locking writes over
+// [startMs, endMs). The job belongs to svc — the same business whose
+// readers touch those rows — so three things happen at once, exactly the
+// structure the R-SQL module exploits:
+//
+//   - the service's overall traffic co-lifts mildly (×~1.6): enough for the
+//     job's write templates to land in the same #execution cluster as the
+//     service's blocked readers (1-minute clustering granularity), yet
+//     small enough that the readers' own 1-second #execution stays inside
+//     the Tukey fences, so history verification filters the victims and
+//     keeps the writes;
+//   - the writes serialize on each other and block the readers, piling up
+//     the active session;
+//   - the job splits its writes across two statement shapes (UPDATE and
+//     DELETE), so no single write template dominates the per-template
+//     response-time ranking — the blinding that defeats Top-RT.
+//
+// Ground-truth R-SQLs are the two write templates. svc should own readers
+// with lock footprints on the table's hot range (in DefaultWorld, the
+// fulfillment service's `order-by-id ... FOR UPDATE`).
+func (w *World) InjectLockStorm(svc *Service, table string, rps float64, startMs, endMs int64) Anomaly {
+	// Mild co-lift of the whole business during the job.
+	const coLift = 1.7
+	prev := svc.SpikeFactor
+	svc.SpikeFactor = func(tMs int64) float64 {
+		f := 1.0
+		if prev != nil {
+			f = prev(tMs)
+		}
+		if tMs >= startMs && tMs < endMs {
+			f *= coLift
+		}
+		return f
+	}
+	if coLift > w.maxSpike {
+		w.maxSpike = coLift
+	}
+
+	write := func(name, pattern string, kind dbsim.QueryKind, share, serviceMs float64, keys int) *Spec {
+		return w.AddSpec(svc, Spec{
+			Name:            name,
+			Pattern:         pattern,
+			Table:           table,
+			Kind:            kind,
+			CallsPerRequest: rps * share / svc.BaseRPS,
+			ServiceMs:       serviceMs,
+			ServiceJitter:   0.4,
+			// The job's writes range-scan the hot segment before locking:
+			// real index-miss potential for the optimizer to reclaim.
+			ExaminedRows:  300,
+			RowsJitter:    0.3,
+			IOOps:         6,
+			LockLo:        0,
+			LockHi:        40,
+			LockCount:     keys,
+			ActiveFromMs:  startMs,
+			ActiveUntilMs: endMs,
+			// The co-lift also scales these specs via the service rate;
+			// compensate so rps stays the requested absolute rate.
+			RateFactor:    func(tMs int64) float64 { return 1 / coLift },
+			MaxRateFactor: 1,
+		})
+	}
+	upd := write("hot-update-"+table,
+		"UPDATE "+table+" SET state = @, version = version + 1 WHERE id = @",
+		dbsim.KindUpdate, 0.55, 500, 3)
+	del := write("hot-delete-"+table,
+		"DELETE FROM "+table+" WHERE id = @ AND state = @",
+		dbsim.KindDelete, 0.45, 400, 3)
+
+	a := Anomaly{
+		Kind:    KindLockStorm,
+		RSQLs:   []sqltemplate.ID{upd.ID(), del.ID()},
+		StartMs: startMs,
+		EndMs:   endMs,
+		Table:   table,
+	}
+	w.anomalies = append(w.anomalies, a)
+	return a
+}
+
+// InjectMDL schedules a one-shot long DDL on a table at startMs with the
+// given duration. Every statement on the table freezes behind the metadata
+// lock ("Waiting for table metadata lock").
+func (w *World) InjectMDL(table string, startMs, durationMs int64) Anomaly {
+	sql := fmt.Sprintf("ALTER TABLE %s ADD COLUMN ext_%d varchar", table, w.rng.Intn(1000))
+	tpl := sqltemplate.New(sql)
+	w.AddOneShot(&dbsim.Query{
+		TemplateID:   string(tpl.ID),
+		SQL:          sql,
+		Table:        table,
+		Kind:         dbsim.KindDDL,
+		ArrivalMs:    startMs,
+		ServiceMs:    float64(durationMs),
+		IOOps:        1000,
+		ExaminedRows: 1,
+		MDLExclusive: true,
+	})
+	a := Anomaly{Kind: KindMDL, RSQLs: []sqltemplate.ID{tpl.ID}, StartMs: startMs, EndMs: startMs + durationMs, Table: table}
+	w.anomalies = append(w.anomalies, a)
+	return a
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+
+	"pinsql/internal/dbsim"
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+)
+
+// event is a tentative arrival of one spec in the thinning process.
+type event struct {
+	tMs  float64
+	spec *Spec
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].tMs < h[j].tMs }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// source lazily samples every spec's inhomogeneous Poisson process over
+// [startMs, endMs) by thinning: tentative arrivals are drawn at each spec's
+// maximum rate and accepted with probability rate(t)/maxRate. Accepted
+// arrivals come out in global time order. One-shot statements are merged in.
+type source struct {
+	w       *World
+	rng     *rand.Rand
+	h       eventHeap
+	endMs   int64
+	maxRate map[*Spec]float64
+	next    *dbsim.Query
+
+	oneShots []*dbsim.Query // sorted by arrival
+	oneIdx   int
+}
+
+// Source builds a dbsim.Source emitting this world's traffic over
+// [startMs, endMs). seed decouples the arrival randomness from the world's
+// structural randomness so history windows can replay the same world with
+// fresh noise.
+func (w *World) Source(startMs, endMs, seed int64) dbsim.Source {
+	rng := rand.New(rand.NewSource(seed))
+	src := &source{
+		w:       w,
+		rng:     rng,
+		endMs:   endMs,
+		maxRate: make(map[*Spec]float64),
+	}
+	for _, spec := range w.AllSpecs() {
+		maxFactor := spec.maxRateFactor()
+		mr := spec.service.maxRate(w.maxSpike) * spec.CallsPerRequest * maxFactor
+		if mr <= 0 {
+			continue
+		}
+		src.maxRate[spec] = mr
+		first := float64(startMs) + src.exp(mr)
+		heap.Push(&src.h, event{tMs: first, spec: spec})
+	}
+	for _, q := range w.oneShots {
+		if q.ArrivalMs >= startMs && q.ArrivalMs < endMs {
+			src.oneShots = append(src.oneShots, q)
+		}
+	}
+	sort.Slice(src.oneShots, func(i, j int) bool {
+		return src.oneShots[i].ArrivalMs < src.oneShots[j].ArrivalMs
+	})
+	return src
+}
+
+// maxRateFactor returns an upper bound of the spec's RateFactor.
+func (s *Spec) maxRateFactor() float64 {
+	if s.RateFactor == nil {
+		return 1
+	}
+	if s.MaxRateFactor > 0 {
+		return s.MaxRateFactor
+	}
+	return 1
+}
+
+func (s *source) exp(rate float64) float64 {
+	return s.rng.ExpFloat64() / rate * 1000 // milliseconds between arrivals
+}
+
+// fill advances the thinning process until the next accepted arrival is
+// cached or the window is exhausted.
+func (s *source) fill() {
+	for s.next == nil {
+		// One-shot due before the next tentative arrival?
+		var nextTent float64 = math.Inf(1)
+		if len(s.h) > 0 {
+			nextTent = s.h[0].tMs
+		}
+		if s.oneIdx < len(s.oneShots) && float64(s.oneShots[s.oneIdx].ArrivalMs) <= nextTent {
+			s.next = s.oneShots[s.oneIdx]
+			s.oneIdx++
+			return
+		}
+		if len(s.h) == 0 {
+			return
+		}
+		ev := heap.Pop(&s.h).(event)
+		if ev.tMs >= float64(s.endMs) {
+			continue // spec exhausted; do not reschedule
+		}
+		mr := s.maxRate[ev.spec]
+		heap.Push(&s.h, event{tMs: ev.tMs + s.exp(mr), spec: ev.spec})
+		// Thinning acceptance.
+		r := specRate(ev.spec, int64(ev.tMs))
+		if r <= 0 || s.rng.Float64() > r/mr {
+			continue
+		}
+		s.next = s.w.buildQuery(ev.spec, int64(ev.tMs), s.rng)
+	}
+}
+
+// Peek implements dbsim.Source.
+func (s *source) Peek() int64 {
+	s.fill()
+	if s.next == nil {
+		return math.MaxInt64
+	}
+	return s.next.ArrivalMs
+}
+
+// Pop implements dbsim.Source.
+func (s *source) Pop() *dbsim.Query {
+	s.fill()
+	q := s.next
+	s.next = nil
+	return q
+}
+
+// CountArrivals replays the world's arrival process over a window and
+// returns per-template #execution series at one-second granularity, without
+// running the database simulation. The R-SQL module's history windows only
+// need execution counts, so this is how 1/3/7-days-ago traces are produced.
+func (w *World) CountArrivals(startMs, endMs, seed int64) map[sqltemplate.ID]timeseries.Series {
+	seconds := int((endMs - startMs + 999) / 1000)
+	out := make(map[sqltemplate.ID]timeseries.Series)
+	src := w.Source(startMs, endMs, seed)
+	for src.Peek() != math.MaxInt64 {
+		q := src.Pop()
+		id := sqltemplate.ID(q.TemplateID)
+		s, ok := out[id]
+		if !ok {
+			s = make(timeseries.Series, seconds)
+			out[id] = s
+		}
+		sec := int((q.ArrivalMs - startMs) / 1000)
+		if sec >= 0 && sec < seconds {
+			s[sec]++
+		}
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+
+	"pinsql/internal/dbsim"
+)
+
+// DefaultWorld builds the standard evaluation workload: an e-commerce-ish
+// set of tables and six business services (microservice DAGs) whose specs
+// cover point reads, range scans, inserts, and lock-taking updates. The
+// aggregate baseline keeps a 16-core instance lightly loaded (a few active
+// sessions), leaving headroom that injected anomalies visibly destroy.
+func DefaultWorld(seed int64) *World {
+	w := NewWorld(seed)
+
+	w.AddTable("orders", 5_000_000)
+	w.AddTable("orders_audit", 8_000_000)
+	w.AddTable("users", 2_000_000)
+	w.AddTable("items", 1_000_000)
+	w.AddTable("inventory", 500_000)
+	w.AddTable("payments", 3_000_000)
+	w.AddTable("applogs", 10_000_000)
+
+	storefront := w.AddService("storefront", 12, 1)
+	w.AddSpec(storefront, Spec{
+		Name: "item-by-id", Pattern: "SELECT * FROM items WHERE item_id = @",
+		Table: "items", Kind: dbsim.KindSelect,
+		CallsPerRequest: 3, ServiceMs: 8, ServiceJitter: 0.4, ExaminedRows: 120, RowsJitter: 0.4, IOOps: 2,
+	})
+	w.AddSpec(storefront, Spec{
+		Name: "user-by-id", Pattern: "SELECT name, level FROM users WHERE uid = @",
+		Table: "users", Kind: dbsim.KindSelect,
+		CallsPerRequest: 1, ServiceMs: 5, ServiceJitter: 0.3, ExaminedRows: 10, IOOps: 1,
+	})
+	w.AddSpec(storefront, Spec{
+		Name: "recent-orders", Pattern: "SELECT * FROM orders WHERE uid = @ ORDER BY ts DESC LIMIT 20",
+		Table: "orders", Kind: dbsim.KindSelect,
+		CallsPerRequest: 0.8, ServiceMs: 15, ServiceJitter: 0.5, ExaminedRows: 600, RowsJitter: 0.5, IOOps: 4,
+	})
+	w.AddSpec(storefront, Spec{
+		Name: "touch-user", Pattern: "UPDATE users SET last_seen = @ WHERE uid = @",
+		Table: "users", Kind: dbsim.KindUpdate,
+		CallsPerRequest: 0.5, ServiceMs: 6, ServiceJitter: 0.3, ExaminedRows: 5, IOOps: 2,
+		LockLo: 0, LockHi: 100_000, LockCount: 1,
+	})
+
+	checkout := w.AddService("checkout", 5, 2)
+	w.AddSpec(checkout, Spec{
+		Name: "stock-check", Pattern: "SELECT qty FROM inventory WHERE sku = @",
+		Table: "inventory", Kind: dbsim.KindSelect,
+		CallsPerRequest: 2, ServiceMs: 6, ServiceJitter: 0.3, ExaminedRows: 20, IOOps: 1,
+	})
+	w.AddSpec(checkout, Spec{
+		Name: "create-order", Pattern: "INSERT INTO orders (uid, item, qty, ts) VALUES (@, @, @, @)",
+		Table: "orders", Kind: dbsim.KindInsert,
+		CallsPerRequest: 1, ServiceMs: 10, ServiceJitter: 0.4, ExaminedRows: 1, IOOps: 5,
+		LockLo: 10_000, LockHi: 500_000, LockCount: 1,
+	})
+	w.AddSpec(checkout, Spec{
+		Name: "reserve-stock", Pattern: "UPDATE inventory SET qty = qty - @ WHERE sku = @",
+		Table: "inventory", Kind: dbsim.KindUpdate,
+		CallsPerRequest: 1, ServiceMs: 12, ServiceJitter: 0.4, ExaminedRows: 15, IOOps: 4,
+		LockLo: 0, LockHi: 50_000, LockCount: 1,
+	})
+	w.AddSpec(checkout, Spec{
+		Name: "payment-lookup", Pattern: "SELECT status FROM payments WHERE order_id = @",
+		Table: "payments", Kind: dbsim.KindSelect,
+		CallsPerRequest: 0.7, ServiceMs: 8, ServiceJitter: 0.3, ExaminedRows: 30, IOOps: 2,
+	})
+
+	fulfillment := w.AddService("fulfillment", 4, 3)
+	w.AddSpec(fulfillment, Spec{
+		Name: "order-by-id", Pattern: "SELECT * FROM orders WHERE id = @ FOR UPDATE",
+		Table: "orders", Kind: dbsim.KindSelect,
+		CallsPerRequest: 3, ServiceMs: 10, ServiceJitter: 0.4, ExaminedRows: 50, IOOps: 2,
+		// Locking read concentrated on the hot (recently created) order
+		// rows: the lock-storm victims. A narrow two-key footprint keeps
+		// FIFO head-of-line blocking from cascading into runaway queues.
+		LockLo: 0, LockHi: 60, LockCount: 2,
+	})
+	w.AddSpec(fulfillment, Spec{
+		Name: "ship-order", Pattern: "UPDATE orders SET status = @ WHERE id = @",
+		Table: "orders", Kind: dbsim.KindUpdate,
+		CallsPerRequest: 1, ServiceMs: 15, ServiceJitter: 0.4, ExaminedRows: 20, IOOps: 5,
+		LockLo: 0, LockHi: 1000, LockCount: 1,
+	})
+	w.AddSpec(fulfillment, Spec{
+		Name: "item-stock-peek", Pattern: "SELECT qty, updated_at FROM inventory WHERE sku = @",
+		Table: "inventory", Kind: dbsim.KindSelect,
+		CallsPerRequest: 1, ServiceMs: 6, ServiceJitter: 0.3, ExaminedRows: 20, IOOps: 1,
+	})
+
+	analytics := w.AddService("analytics", 2, 4)
+	w.AddSpec(analytics, Spec{
+		Name: "log-scan", Pattern: "SELECT count(*) FROM applogs WHERE level = @ AND ts > @",
+		Table: "applogs", Kind: dbsim.KindSelect,
+		CallsPerRequest: 1, ServiceMs: 60, ServiceJitter: 0.5, ExaminedRows: 50_000, RowsJitter: 0.5, IOOps: 40,
+	})
+	w.AddSpec(analytics, Spec{
+		Name: "orders-rollup", Pattern: "SELECT item, sum(qty) FROM orders WHERE ts > @ GROUP BY item",
+		Table: "orders", Kind: dbsim.KindSelect,
+		CallsPerRequest: 1, ServiceMs: 45, ServiceJitter: 0.5, ExaminedRows: 20_000, RowsJitter: 0.4, IOOps: 25,
+	})
+
+	crm := w.AddService("crm", 3, 5)
+	w.AddSpec(crm, Spec{
+		Name: "user-search", Pattern: "SELECT * FROM users WHERE city = @ AND level > @ LIMIT 50",
+		Table: "users", Kind: dbsim.KindSelect,
+		CallsPerRequest: 1, ServiceMs: 12, ServiceJitter: 0.4, ExaminedRows: 900, RowsJitter: 0.5, IOOps: 5,
+	})
+	w.AddSpec(crm, Spec{
+		Name: "user-orders", Pattern: "SELECT id, ts FROM orders WHERE uid = @ LIMIT 100",
+		Table: "orders", Kind: dbsim.KindSelect,
+		CallsPerRequest: 0.5, ServiceMs: 20, ServiceJitter: 0.4, ExaminedRows: 1500, RowsJitter: 0.4, IOOps: 6,
+	})
+
+	billing := w.AddService("billing", 2.5, 6)
+	w.AddSpec(billing, Spec{
+		Name: "payment-insert", Pattern: "INSERT INTO payments (order_id, amount, ts) VALUES (@, @, @)",
+		Table: "payments", Kind: dbsim.KindInsert,
+		CallsPerRequest: 1, ServiceMs: 9, ServiceJitter: 0.3, ExaminedRows: 1, IOOps: 4,
+		LockLo: 0, LockHi: 300_000, LockCount: 1,
+	})
+	w.AddSpec(billing, Spec{
+		Name: "payment-reconcile", Pattern: "SELECT * FROM payments WHERE ts BETWEEN @ AND @ AND status = @",
+		Table: "payments", Kind: dbsim.KindSelect,
+		CallsPerRequest: 0.6, ServiceMs: 25, ServiceJitter: 0.5, ExaminedRows: 4000, RowsJitter: 0.5, IOOps: 10,
+	})
+
+	return w
+}
+
+// AddFillerServices pads the world with extra low-traffic services so the
+// template count can be swept (Fig. 7 scalability): n services of specsPer
+// templates each, all on the applogs table at negligible cost.
+func (w *World) AddFillerServices(n, specsPer int) {
+	for i := 0; i < n; i++ {
+		svc := w.AddService(fmt.Sprintf("filler-%d", i), 1.2, 7+i)
+		for j := 0; j < specsPer; j++ {
+			w.AddSpec(svc, Spec{
+				Name:    fmt.Sprintf("filler-%d-%d", i, j),
+				Pattern: fmt.Sprintf("SELECT f%d FROM applogs WHERE k%d_%d = @", j, i, j),
+				Table:   "applogs", Kind: dbsim.KindSelect,
+				CallsPerRequest: 0.35, ServiceMs: 3, ServiceJitter: 0.3, ExaminedRows: 20, IOOps: 1,
+			})
+		}
+	}
+}
