@@ -1,0 +1,37 @@
+# PinSQL build/test/verification entry points. CI (.github/workflows/ci.yml)
+# runs build + vet + test + race; fuzz-smoke is a short native-fuzzing slice
+# over the SQL normalizer.
+
+GO ?= go
+
+.PHONY: all build test race vet fuzz-smoke bench-parallel clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The full suite under the race detector; includes the broker concurrency
+# suite (internal/collect/broker_race_test.go) and the Workers-equivalence
+# property tests.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzzing campaign over sqltemplate.Normalize (panic-freedom,
+# idempotence, stable template IDs). Long campaigns: raise -fuzztime.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzNormalize -fuzztime=10s ./internal/sqltemplate
+
+# Parallel-pipeline speedup sweep (Workers in {1, 2, 4, NumCPU}) on a
+# ~4000-template case.
+bench-parallel:
+	$(GO) test -run=^$$ -bench=BenchmarkDiagnoseParallel -benchtime=3x .
+
+clean:
+	$(GO) clean ./...

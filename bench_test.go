@@ -10,10 +10,18 @@ package pinsql
 // full-size corpora.
 
 import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"sync"
 	"testing"
 
 	"pinsql/internal/bench"
+	"pinsql/internal/cases"
+	"pinsql/internal/core"
 	"pinsql/internal/dbsim"
+	"pinsql/internal/session"
+	"pinsql/internal/workload"
 )
 
 // BenchmarkTableI_Overall regenerates Table I: Hits@k / MRR / diagnosis
@@ -65,7 +73,7 @@ func BenchmarkFig6_Ablation(b *testing.B) {
 // versus template count and anomaly-period length with polynomial fits.
 func BenchmarkFig7_Scalability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunFig7(3, []int{100, 300, 600}, []int{300, 900, 1800})
+		res, err := bench.RunFig7(3, []int{100, 300, 600}, []int{300, 900, 1800}, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -141,6 +149,74 @@ func BenchmarkTableIV_PfsOverhead(b *testing.B) {
 		if i == 0 {
 			b.Log("\n" + res.Format())
 		}
+	}
+}
+
+// parallelCase lazily generates one large diagnosis case (~4000 templates,
+// the upper region of the paper's Fig. 7 sweep) shared by every
+// BenchmarkDiagnoseParallel worker-count variant.
+var parallelCase struct {
+	once    sync.Once
+	lab     *cases.Labeled
+	queries session.Queries
+	err     error
+}
+
+func loadParallelCase() (*cases.Labeled, session.Queries, error) {
+	parallelCase.once.Do(func() {
+		opt := cases.DefaultOptions()
+		opt.Seed = 5
+		opt.TraceSec = 2400
+		opt.AnomalyStartSec = 1500
+		opt.AnomalyMinDurSec = 300
+		opt.AnomalyMaxDurSec = 300
+		opt.HistoryDays = []int{1}
+		opt.FillerServices = (4000 - 23) / 25
+		opt.FillerSpecs = 25
+		parallelCase.lab, parallelCase.err = cases.GenerateOne(opt, 0, workload.KindBusinessSpike)
+		if parallelCase.err == nil {
+			parallelCase.queries = cases.QueriesOf(parallelCase.lab.Collector, parallelCase.lab.Case.Snapshot)
+		}
+	})
+	return parallelCase.lab, parallelCase.queries, parallelCase.err
+}
+
+// BenchmarkDiagnoseParallel measures the parallel diagnosis pipeline on a
+// ~4000-template case across worker counts — the speedup axis the Fig. 7
+// scalability experiment sweeps. Every variant must produce the identical
+// ranked output as Workers=1 (checked on the first iteration); on a
+// multi-core box Workers=4 is expected to cut the Workers=1 wall-clock by
+// ≥2× (the pair-scan stage is embarrassingly parallel).
+func BenchmarkDiagnoseParallel(b *testing.B) {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	var baseline *core.Diagnosis
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			lab, queries, err := loadParallelCase()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.DefaultConfig()
+			cfg.Workers = w
+			b.ReportMetric(float64(len(lab.Case.Snapshot.Templates)), "templates")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := core.Diagnose(lab.Case, queries, cfg)
+				if i == 0 {
+					if w == 1 && baseline == nil {
+						baseline = d
+					} else if baseline != nil {
+						if !reflect.DeepEqual(baseline.HSQLIDs(), d.HSQLIDs()) ||
+							!reflect.DeepEqual(baseline.RSQLIDs(), d.RSQLIDs()) {
+							b.Fatalf("workers=%d ranked output diverged from workers=1", w)
+						}
+					}
+				}
+			}
+		})
 	}
 }
 

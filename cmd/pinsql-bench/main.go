@@ -22,11 +22,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|all")
-		n     = flag.Int("cases", 24, "corpus size for table1/fig6/families")
-		seed  = flag.Int64("seed", 1, "corpus seed")
-		param = flag.String("param", "ks", "sweep parameter: ks|tau|buckets")
-		small = flag.Bool("small", false, "use reduced trace lengths (faster, noisier)")
+		exp     = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|all")
+		n       = flag.Int("cases", 24, "corpus size for table1/fig6/families")
+		seed    = flag.Int64("seed", 1, "corpus seed")
+		param   = flag.String("param", "ks", "sweep parameter: ks|tau|buckets")
+		small   = flag.Bool("small", false, "use reduced trace lengths (faster, noisier)")
+		workers = flag.Int("workers", 0, "diagnosis worker pool for fig7's parallel curve (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -59,7 +60,7 @@ func main() {
 			run("fig6", func() (fmt.Stringer, error) { return wrap(bench.RunFig6(corpus(*n))) })
 		},
 		"fig7": func() {
-			run("fig7", func() (fmt.Stringer, error) { return wrap(bench.RunFig7(*seed, nil, nil)) })
+			run("fig7", func() (fmt.Stringer, error) { return wrap(bench.RunFig7(*seed, nil, nil, *workers)) })
 		},
 		"fig8": func() {
 			run("fig8", func() (fmt.Stringer, error) { return wrap(bench.RunFig8(*seed)) })

@@ -36,16 +36,17 @@ func main() {
 		windowSec  = flag.Int("window", 1200, "window length in simulated seconds")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		autoRepair = flag.Bool("auto-repair", false, "execute suggested repairing actions")
+		workers    = flag.Int("workers", 0, "diagnosis worker pool (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
-	if err := run(*windows, *windowSec, *seed, *autoRepair); err != nil {
+	if err := run(*windows, *windowSec, *seed, *autoRepair, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "pinsqld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(windows, windowSec int, seed int64, autoRepair bool) error {
+func run(windows, windowSec int, seed int64, autoRepair bool, workers int) error {
 	world := workload.DefaultWorld(seed)
 	world.AddFillerServices(3, 6)
 	cfg := dbsim.DefaultConfig()
@@ -59,6 +60,8 @@ func run(windows, windowSec int, seed int64, autoRepair bool) error {
 	defer broker.Close()
 	det := anomaly.NewDetector(anomaly.Config{})
 	mod := repair.New(repair.DefaultConfig(), repair.DefaultOptimizer())
+	diagCfg := core.DefaultConfig()
+	diagCfg.Workers = workers
 
 	anomalies := []func(from, to int64){
 		func(from, to int64) { world.InjectBusinessSpike(world.Services[2], 40, from, to) },
@@ -80,6 +83,7 @@ func run(windows, windowSec int, seed int64, autoRepair bool) error {
 		}
 
 		// Streaming collection: instance → broker → aggregator.
+		lostBefore := broker.Dropped("pinsqld")
 		coll := collect.NewCollector("pinsqld", fromMs, toMs, registry, store)
 		ch, cancel := broker.Subscribe("pinsqld", 4096)
 		done := collect.NewStreamAggregator(coll).Consume(ch)
@@ -97,6 +101,12 @@ func run(windows, windowSec int, seed int64, autoRepair bool) error {
 		coll.IngestMetrics(secs)
 		snap := coll.Snapshot()
 		store.Expire(toMs) // keep the log store within its TTL budget
+		if lost := broker.Dropped("pinsqld") - lostBefore; lost > 0 {
+			// Backpressure loss: the aggregator fell behind the producer
+			// and records were shed at the broker (by design — never slow
+			// the instance). Surfaced so a DBA can size the buffer.
+			fmt.Printf("  (broker dropped %d records under backpressure)\n", lost)
+		}
 
 		// Round-the-clock detection.
 		phenomena := det.DetectPhenomena(map[string]timeseries.Series{
@@ -113,7 +123,7 @@ func run(windows, windowSec int, seed int64, autoRepair bool) error {
 		for _, ph := range phenomena {
 			fmt.Printf("  ANOMALY %s [%d, %d) s\n", ph.Rule, int(fromMs/1000)+ph.Start, int(fromMs/1000)+ph.End)
 			c := anomaly.NewCase(snap, ph)
-			d := core.Diagnose(c, queriesOf(coll, snap), core.DefaultConfig())
+			d := core.Diagnose(c, queriesOf(coll, snap), diagCfg)
 			if len(d.RSQLs) == 0 {
 				fmt.Println("    no R-SQL pinpointed")
 				continue

@@ -78,16 +78,22 @@ func TestRunFig7Tiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep is slow")
 	}
-	res, err := RunFig7(7, []int{50, 120, 250}, []int{300, 600, 900})
+	res, err := RunFig7(7, []int{50, 120, 250}, []int{300, 600, 900}, 2)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if res.Workers != 2 {
+		t.Errorf("Workers = %d, want 2", res.Workers)
 	}
 	if len(res.ByTemplates) != 3 || len(res.ByPeriod) != 3 {
 		t.Fatalf("points = %d/%d", len(res.ByTemplates), len(res.ByPeriod))
 	}
 	for _, p := range append(res.ByTemplates, res.ByPeriod...) {
 		if p.TimeSec <= 0 || p.TimeSec > 60 {
-			t.Errorf("implausible diagnosis time %v", p.TimeSec)
+			t.Errorf("implausible sequential diagnosis time %v", p.TimeSec)
+		}
+		if p.ParSec <= 0 || p.ParSec > 60 {
+			t.Errorf("implausible parallel diagnosis time %v", p.ParSec)
 		}
 	}
 	// Longer anomaly periods must not be cheaper by an order of magnitude

@@ -6,39 +6,66 @@ import (
 
 	"pinsql/internal/cases"
 	"pinsql/internal/core"
+	"pinsql/internal/parallel"
 	"pinsql/internal/timeseries"
 	"pinsql/internal/workload"
 )
 
-// Fig7Point is one scalability measurement.
+// Fig7Point is one scalability measurement: the same case diagnosed on
+// the sequential path (Workers=1) and on the parallel pipeline.
 type Fig7Point struct {
 	Templates int     // templates in the case
 	PeriodSec int     // anomaly period length
-	TimeSec   float64 // diagnosis computing time, seconds
+	TimeSec   float64 // sequential diagnosis computing time, seconds
+	ParSec    float64 // parallel diagnosis computing time, seconds
 }
 
 // Fig7 is the scalability study: computing time against template count and
-// against anomaly-period length, with fitted polynomial curves.
+// against anomaly-period length, with fitted polynomial curves, extended
+// beyond the paper with the parallel pipeline's curve at Workers workers.
 type Fig7 struct {
+	Workers     int // worker count of the parallel curve
 	ByTemplates []Fig7Point
 	ByPeriod    []Fig7Point
 	// TemplateFit / PeriodFit are degree-2 least-squares coefficients
-	// (c0 + c1·x + c2·x²) of the red-dot clouds, like the paper's fitted
-	// black curves.
-	TemplateFit []float64
-	PeriodFit   []float64
+	// (c0 + c1·x + c2·x²) of the sequential red-dot clouds, like the
+	// paper's fitted black curves; ParTemplateFit / ParPeriodFit fit the
+	// parallel clouds.
+	TemplateFit    []float64
+	PeriodFit      []float64
+	ParTemplateFit []float64
+	ParPeriodFit   []float64
 }
 
 // RunFig7 sweeps the number of SQL templates and the anomaly period length
-// and measures the diagnosis computing time of each generated case.
-func RunFig7(seed int64, templateSweep []int, periodSweep []int) (*Fig7, error) {
+// and measures the diagnosis computing time of each generated case, once
+// sequentially and once with the parallel pipeline (workers <= 0 means
+// GOMAXPROCS). Both runs produce identical diagnoses — the pipeline's
+// determinism contract — so the curves differ only in wall-clock.
+func RunFig7(seed int64, templateSweep []int, periodSweep []int, workers int) (*Fig7, error) {
 	if len(templateSweep) == 0 {
 		templateSweep = []int{500, 1000, 2000, 3000, 4500, 6000}
 	}
 	if len(periodSweep) == 0 {
 		periodSweep = []int{600, 1200, 2400, 3600, 4800, 6000}
 	}
-	out := &Fig7{}
+	out := &Fig7{Workers: parallel.Resolve(workers)}
+
+	measure := func(lab *cases.Labeled) Fig7Point {
+		queries := cases.QueriesOf(lab.Collector, lab.Case.Snapshot)
+		seqCfg := core.DefaultConfig()
+		seqCfg.Workers = 1
+		seq := core.Diagnose(lab.Case, queries, seqCfg)
+		parCfg := core.DefaultConfig()
+		parCfg.Workers = out.Workers
+		par := core.Diagnose(lab.Case, queries, parCfg)
+		return Fig7Point{
+			Templates: len(lab.Case.Snapshot.Templates),
+			PeriodSec: lab.Case.AE - lab.Case.AS,
+			TimeSec:   seq.Time.Total().Seconds(),
+			ParSec:    par.Time.Total().Seconds(),
+		}
+	}
 
 	// Sweep 1: templates (fixed moderate anomaly period).
 	for i, nt := range templateSweep {
@@ -61,12 +88,7 @@ func RunFig7(seed int64, templateSweep []int, periodSweep []int) (*Fig7, error) 
 		if err != nil {
 			return nil, err
 		}
-		d := core.Diagnose(lab.Case, cases.QueriesOf(lab.Collector, lab.Case.Snapshot), core.DefaultConfig())
-		out.ByTemplates = append(out.ByTemplates, Fig7Point{
-			Templates: len(lab.Case.Snapshot.Templates),
-			PeriodSec: lab.Case.AE - lab.Case.AS,
-			TimeSec:   d.Time.Total().Seconds(),
-		})
+		out.ByTemplates = append(out.ByTemplates, measure(lab))
 	}
 
 	// Sweep 2: anomaly period length (fixed template count).
@@ -84,20 +106,21 @@ func RunFig7(seed int64, templateSweep []int, periodSweep []int) (*Fig7, error) 
 		if err != nil {
 			return nil, err
 		}
-		d := core.Diagnose(lab.Case, cases.QueriesOf(lab.Collector, lab.Case.Snapshot), core.DefaultConfig())
-		out.ByPeriod = append(out.ByPeriod, Fig7Point{
-			Templates: len(lab.Case.Snapshot.Templates),
-			PeriodSec: lab.Case.AE - lab.Case.AS,
-			TimeSec:   d.Time.Total().Seconds(),
-		})
+		out.ByPeriod = append(out.ByPeriod, measure(lab))
 	}
 
-	out.TemplateFit = fitPoints(out.ByTemplates, func(p Fig7Point) float64 { return float64(p.Templates) })
-	out.PeriodFit = fitPoints(out.ByPeriod, func(p Fig7Point) float64 { return float64(p.PeriodSec) })
+	seqTime := func(p Fig7Point) float64 { return p.TimeSec }
+	parTime := func(p Fig7Point) float64 { return p.ParSec }
+	byTemplates := func(p Fig7Point) float64 { return float64(p.Templates) }
+	byPeriod := func(p Fig7Point) float64 { return float64(p.PeriodSec) }
+	out.TemplateFit = fitPoints(out.ByTemplates, byTemplates, seqTime)
+	out.PeriodFit = fitPoints(out.ByPeriod, byPeriod, seqTime)
+	out.ParTemplateFit = fitPoints(out.ByTemplates, byTemplates, parTime)
+	out.ParPeriodFit = fitPoints(out.ByPeriod, byPeriod, parTime)
 	return out, nil
 }
 
-func fitPoints(pts []Fig7Point, xOf func(Fig7Point) float64) []float64 {
+func fitPoints(pts []Fig7Point, xOf, yOf func(Fig7Point) float64) []float64 {
 	if len(pts) < 3 {
 		return nil
 	}
@@ -105,7 +128,7 @@ func fitPoints(pts []Fig7Point, xOf func(Fig7Point) float64) []float64 {
 	y := make(timeseries.Series, len(pts))
 	for i, p := range pts {
 		x[i] = xOf(p)
-		y[i] = p.TimeSec
+		y[i] = yOf(p)
 	}
 	c, err := timeseries.PolyFit(x, y, 2)
 	if err != nil {
@@ -119,25 +142,33 @@ func fitPoints(pts []Fig7Point, xOf func(Fig7Point) float64) []float64 {
 	return c
 }
 
-// Format renders both panels.
+// Format renders both panels with the sequential and parallel curves.
 func (f *Fig7) Format() string {
 	var b strings.Builder
-	b.WriteString("Fig. 7: scalability of PinSQL diagnosis\n")
+	fmt.Fprintf(&b, "Fig. 7: scalability of PinSQL diagnosis (parallel curve at %d workers)\n", f.Workers)
 	b.WriteString("(a) computing time vs number of templates (period fixed)\n")
 	for _, p := range f.ByTemplates {
-		fmt.Fprintf(&b, "  templates=%5d  time=%.3fs\n", p.Templates, p.TimeSec)
+		fmt.Fprintf(&b, "  templates=%5d  seq=%.3fs  par=%.3fs\n", p.Templates, p.TimeSec, p.ParSec)
 	}
 	if f.TemplateFit != nil {
-		fmt.Fprintf(&b, "  fit: t(n) = %.2e + %.2e·n + %.2e·n²\n",
+		fmt.Fprintf(&b, "  seq fit: t(n) = %.2e + %.2e·n + %.2e·n²\n",
 			f.TemplateFit[0], f.TemplateFit[1], coefOr0(f.TemplateFit, 2))
+	}
+	if f.ParTemplateFit != nil {
+		fmt.Fprintf(&b, "  par fit: t(n) = %.2e + %.2e·n + %.2e·n²\n",
+			f.ParTemplateFit[0], f.ParTemplateFit[1], coefOr0(f.ParTemplateFit, 2))
 	}
 	b.WriteString("(b) computing time vs anomaly period length (templates fixed)\n")
 	for _, p := range f.ByPeriod {
-		fmt.Fprintf(&b, "  period=%5ds  time=%.3fs\n", p.PeriodSec, p.TimeSec)
+		fmt.Fprintf(&b, "  period=%5ds  seq=%.3fs  par=%.3fs\n", p.PeriodSec, p.TimeSec, p.ParSec)
 	}
 	if f.PeriodFit != nil {
-		fmt.Fprintf(&b, "  fit: t(L) = %.2e + %.2e·L + %.2e·L²\n",
+		fmt.Fprintf(&b, "  seq fit: t(L) = %.2e + %.2e·L + %.2e·L²\n",
 			f.PeriodFit[0], f.PeriodFit[1], coefOr0(f.PeriodFit, 2))
+	}
+	if f.ParPeriodFit != nil {
+		fmt.Fprintf(&b, "  par fit: t(L) = %.2e + %.2e·L + %.2e·L²\n",
+			f.ParPeriodFit[0], f.ParPeriodFit[1], coefOr0(f.ParPeriodFit, 2))
 	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package collect
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"pinsql/internal/dbsim"
 )
@@ -14,18 +15,22 @@ import (
 type Broker struct {
 	mu     sync.RWMutex
 	subs   map[string][]*subscription
+	lost   map[string]*atomic.Int64 // cumulative per-topic drop counts
 	closed bool
 }
 
 type subscription struct {
 	ch      chan dbsim.LogRecord
-	dropped int64
+	dropped atomic.Int64 // atomic: Publish only holds the read lock
 	closed  bool
 }
 
 // NewBroker creates an empty broker.
 func NewBroker() *Broker {
-	return &Broker{subs: make(map[string][]*subscription)}
+	return &Broker{
+		subs: make(map[string][]*subscription),
+		lost: make(map[string]*atomic.Int64),
+	}
 }
 
 // Subscribe registers a consumer on a topic with the given buffer size and
@@ -38,6 +43,9 @@ func (b *Broker) Subscribe(topic string, buffer int) (<-chan dbsim.LogRecord, fu
 	sub := &subscription{ch: make(chan dbsim.LogRecord, buffer)}
 	b.mu.Lock()
 	b.subs[topic] = append(b.subs[topic], sub)
+	if b.lost[topic] == nil {
+		b.lost[topic] = new(atomic.Int64)
+	}
 	b.mu.Unlock()
 
 	cancel := func() {
@@ -65,7 +73,8 @@ func closeSub(sub *subscription) {
 }
 
 // Publish delivers a record to every subscriber of the topic, dropping it
-// for subscribers whose buffers are full.
+// for subscribers whose buffers are full. Concurrent publishers only share
+// the read lock, so the drop counters are atomics.
 func (b *Broker) Publish(topic string, rec dbsim.LogRecord) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -76,9 +85,23 @@ func (b *Broker) Publish(topic string, rec dbsim.LogRecord) {
 		select {
 		case sub.ch <- rec:
 		default:
-			sub.dropped++
+			sub.dropped.Add(1)
+			b.lost[topic].Add(1)
 		}
 	}
+}
+
+// Dropped reports how many records have been dropped on the topic across
+// all of its subscribers (including canceled ones) since the broker was
+// created — the pipeline's backpressure-loss gauge. The count survives
+// Close so a window's loss can be read after teardown.
+func (b *Broker) Dropped(topic string) int64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if c := b.lost[topic]; c != nil {
+		return c.Load()
+	}
+	return 0
 }
 
 // Sink returns a dbsim.LogSink publishing to the topic.

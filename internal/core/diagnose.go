@@ -31,6 +31,14 @@ type Config struct {
 	Kc       int     // max clusters Kc
 	TukeyK   float64 // history verification Tukey multiplier
 
+	// Workers bounds the fan-out of the three parallelized stages
+	// (session estimation, H-SQL scoring, R-SQL clustering/verification).
+	// 1 runs the whole pipeline sequentially on the calling goroutine;
+	// 0 (or negative) uses GOMAXPROCS workers. Diagnosis output is
+	// identical for every value — each stage merges into index-ordered
+	// slices, so even floating-point addition order is fixed.
+	Workers int
+
 	// Ablation switches (Fig. 6). All false means full PinSQL.
 	NoEstimateSession      bool // use total response time instead of estimated sessions
 	NoTrendLevel           bool
@@ -145,7 +153,7 @@ func Diagnose(c *anomaly.Case, queries session.Queries, cfg Config) *Diagnosis {
 			sessions[ts.Meta.ID] = s
 		}
 	} else {
-		est := session.EstimateBuckets(queries, snap.ActiveSession, snap.StartMs, snap.Seconds, cfg.Buckets)
+		est := session.EstimateBucketsWorkers(queries, snap.ActiveSession, snap.StartMs, snap.Seconds, cfg.Buckets, cfg.Workers)
 		d.Est = est
 		sessions = est.PerTemplate
 		// Templates with zero logged queries still deserve a (zero) row.
@@ -165,6 +173,7 @@ func Diagnose(c *anomaly.Case, queries session.Queries, cfg Config) *Diagnosis {
 		UseScale:      !cfg.NoScaleLevel,
 		UseScaleTrend: !cfg.NoScaleTrendLevel,
 		WeightedScore: !cfg.NoWeightedFinalScore,
+		Workers:       cfg.Workers,
 	}
 	d.HSQLs = impact.Rank(sessions, snap.ActiveSession, c.AS, c.AE, iopt)
 	d.Time.RankHSQL = time.Since(start)
@@ -209,6 +218,7 @@ func Diagnose(c *anomaly.Case, queries session.Queries, cfg Config) *Diagnosis {
 		TukeyK:                 cfg.TukeyK,
 		UseCumulativeThreshold: !cfg.NoCumulativeThreshold,
 		UseHistoryVerification: !cfg.NoHistoryVerification,
+		Workers:                cfg.Workers,
 	}
 	in := rootcause.Input{
 		Templates:   templates,

@@ -24,6 +24,7 @@ package impact
 import (
 	"sort"
 
+	"pinsql/internal/parallel"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/timeseries"
 )
@@ -40,6 +41,10 @@ type Options struct {
 	// WeightedScore enables the adaptive α/β weights; disabled, both are
 	// the constant 1 ("PinSQL w/o Weighted Final Score").
 	WeightedScore bool
+	// Workers bounds the per-template scoring fan-out: 1 is the
+	// sequential path, <= 0 means GOMAXPROCS. Scores land in an
+	// index-ordered slice, so the ranking is identical for every value.
+	Workers int
 }
 
 // DefaultOptions returns the full PinSQL configuration.
@@ -87,19 +92,24 @@ func Rank(sessions map[sqltemplate.ID]timeseries.Series, instSession timeseries.
 	}
 	norm := masses.MinMax()
 
+	// Per-template level scores, fanned out across workers; scores[i] is
+	// owned by the worker handling i, so the slice — and everything the
+	// stable sort below sees — is identical for every worker count.
 	scores := make([]Score, len(ids))
-	var maxIdx int
-	for i, id := range ids {
-		s := sessions[id]
+	parallel.ForEach(opt.Workers, len(ids), func(i int) {
+		s := sessions[ids[i]]
 		trend, _ := timeseries.WeightedCorr(s, instSession, weight)
 		ratio, _ := s.Div(instSession)
 		scaleTrend, _ := timeseries.Corr(ratio, instSession)
 		scores[i] = Score{
-			ID:         id,
+			ID:         ids[i],
 			Trend:      trend,
 			Scale:      2*norm[i] - 1,
 			ScaleTrend: scaleTrend,
 		}
+	})
+	var maxIdx int
+	for i := range masses {
 		if masses[i] > masses[maxIdx] {
 			maxIdx = i
 		}

@@ -1,0 +1,107 @@
+// Package parallel provides the bounded worker pool behind PinSQL's
+// parallel diagnosis pipeline. Every helper takes an explicit worker
+// count so the knob can be threaded from core.Config down to each hot
+// loop: workers == 1 runs inline on the calling goroutine (the exact
+// sequential path, no pool involved), workers <= 0 resolves to
+// runtime.GOMAXPROCS(0), and any other value bounds the fan-out.
+//
+// Determinism contract: the helpers schedule work dynamically (an atomic
+// chunk cursor, so stragglers do not serialize the pool) but they never
+// decide where results go — callers must write into index-ordered slices
+// (result[i] from fn(i)), never append from goroutines. Under that
+// discipline the output is bit-identical for every worker count, which is
+// what the pipeline's Workers-equivalence property tests assert.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps the user-facing Workers knob to an effective worker count:
+// values >= 1 are taken as-is, anything else (0 or negative) means "use
+// the hardware", i.e. runtime.GOMAXPROCS(0).
+func Resolve(workers int) int {
+	if workers >= 1 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// minGrain is the smallest chunk the dynamic scheduler hands out; it
+// amortizes the atomic fetch-add over several iterations when n is large
+// while still letting small inputs spread across the pool.
+const minGrain = 8
+
+// ForEach invokes fn(i) for every i in [0, n), spread over the resolved
+// worker count. fn must be safe to call concurrently and must only write
+// to state owned by index i. A panic inside fn is re-raised on the
+// calling goroutine after the pool drains.
+func ForEach(workers, n int, fn func(i int)) {
+	Blocks(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// Blocks invokes fn(lo, hi) over disjoint chunks covering [0, n), spread
+// over the resolved worker count. It is ForEach for loops that want to
+// hoist per-chunk setup (buffers, locals) out of the inner iteration.
+// Chunks are handed out dynamically, so differently-sized work items
+// (e.g. rows of a triangular pair scan) still balance.
+func Blocks(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	grain := n / (workers * 4)
+	if grain < minGrain {
+		grain = minGrain
+	}
+
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				hi := int(cursor.Add(int64(grain)))
+				lo := hi - grain
+				if lo >= n {
+					return
+				}
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}

@@ -1,0 +1,95 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(1); got != 1 {
+		t.Errorf("Resolve(1) = %d", got)
+	}
+	if got := Resolve(7); got != 7 {
+		t.Errorf("Resolve(7) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Resolve(0); got != want {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Resolve(-3); got != want {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+// TestForEachCoversEachIndexOnce is the scheduler's core invariant: every
+// index in [0, n) is visited exactly once, for any worker count.
+func TestForEachCoversEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 4, 16, 100} {
+		for _, n := range []int{0, 1, 2, 7, 8, 9, 63, 64, 65, 1000} {
+			hits := make([]atomic.Int32, n)
+			ForEach(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestBlocksPartition checks Blocks hands out disjoint chunks that cover
+// [0, n) with no overlap, via property testing over (workers, n).
+func TestBlocksPartition(t *testing.T) {
+	prop := func(w uint8, n16 uint16) bool {
+		n := int(n16) % 2000
+		hits := make([]atomic.Int32, n)
+		Blocks(int(w)%9, n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+			}
+			for i := lo; i < hi; i++ {
+				hits[i].Add(1)
+			}
+		})
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestForEachSequentialWhenOneWorker asserts workers=1 stays on the
+// calling goroutine and runs in index order — the bit-for-bit sequential
+// path the Workers knob promises.
+func TestForEachSequentialWhenOneWorker(t *testing.T) {
+	var order []int
+	ForEach(1, 100, func(i int) { order = append(order, i) }) // no locking: must be single-goroutine
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("workers=1 out of order at %d: %d", i, v)
+		}
+	}
+	if len(order) != 100 {
+		t.Fatalf("visited %d of 100", len(order))
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	ForEach(4, 1000, func(i int) {
+		if i == 500 {
+			panic("boom")
+		}
+	})
+}

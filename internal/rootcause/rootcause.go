@@ -23,6 +23,7 @@ import (
 	"sort"
 	"time"
 
+	"pinsql/internal/parallel"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/timeseries"
 )
@@ -54,6 +55,11 @@ type Options struct {
 	// UseHistoryVerification=false skips step 4
 	// ("PinSQL w/o History Trend Verification").
 	UseHistoryVerification bool
+
+	// Workers bounds the fan-out of the clustering, verification and
+	// ranking loops: 1 is the sequential path, <= 0 means GOMAXPROCS.
+	// The output is identical for every value (see clusterTemplates).
+	Workers int
 }
 
 // DefaultOptions returns the full PinSQL configuration.
@@ -132,7 +138,7 @@ func Identify(in Input, opt Options) *Result {
 	}
 	stageStart := time.Now()
 
-	clusters := clusterTemplates(in, opt.Tau)
+	clusters := clusterTemplates(in, opt.Tau, opt.Workers)
 	orderClustersByImpact(clusters, in.Templates)
 	for _, c := range clusters {
 		ids := make([]sqltemplate.ID, len(c.members))
@@ -155,25 +161,18 @@ func Identify(in Input, opt Options) *Result {
 
 	verified := make(map[int]bool, len(pool))
 	if opt.UseHistoryVerification {
-		var kept []int
-		for _, idx := range pool {
-			if verifyHistory(in, idx, opt.TukeyK) {
-				verified[idx] = true
-				kept = append(kept, idx)
-			}
-		}
+		kept := verifyAll(in, pool, opt, verified)
 		if len(kept) == 0 {
 			// Every selected candidate failed verification: the chosen
 			// clusters held only affected statements (victims), not the
 			// cause. Widen the search to every cluster — the R-SQL's own
 			// cluster may have ranked below the victims' when the
 			// business bridge was too weak to join them.
-			for idx := range in.Templates {
-				if verifyHistory(in, idx, opt.TukeyK) {
-					verified[idx] = true
-					kept = append(kept, idx)
-				}
+			all := make([]int, len(in.Templates))
+			for idx := range all {
+				all[idx] = idx
 			}
+			kept = verifyAll(in, all, opt, verified)
 		}
 		// A still-empty pool would leave the DBA empty-handed; fall back
 		// to the unverified selection (rare, mostly when the anomaly
@@ -189,11 +188,17 @@ func Identify(in Input, opt Options) *Result {
 			clusterOf[m] = ci
 		}
 	}
-	for _, idx := range pool {
-		score, _ := timeseries.Corr(in.Templates[idx].Exec, in.InstSession)
+	// Final ranking scores, fanned out per candidate; Ranked is assembled
+	// sequentially in pool order so the stable sort sees the same input
+	// for every worker count.
+	scores := make([]float64, len(pool))
+	parallel.ForEach(opt.Workers, len(pool), func(i int) {
+		scores[i], _ = timeseries.Corr(in.Templates[pool[i]].Exec, in.InstSession)
+	})
+	for i, idx := range pool {
 		res.Ranked = append(res.Ranked, Candidate{
 			ID:       in.Templates[idx].ID,
-			Score:    score,
+			Score:    scores[i],
 			Cluster:  clusterOf[idx],
 			Verified: verified[idx],
 		})
@@ -209,36 +214,112 @@ type cluster struct {
 	impact  float64
 }
 
+// verifyAll runs history verification over the candidate indexes, fanning
+// the Tukey checks across workers into an index-ordered verdict slice, and
+// returns the surviving indexes in input order (marking them in verified).
+func verifyAll(in Input, candidates []int, opt Options, verified map[int]bool) []int {
+	verdicts := make([]bool, len(candidates))
+	parallel.ForEach(opt.Workers, len(candidates), func(i int) {
+		verdicts[i] = verifyHistory(in, candidates[i], opt.TukeyK)
+	})
+	var kept []int
+	for i, ok := range verdicts {
+		if ok {
+			verified[candidates[i]] = true
+			kept = append(kept, candidates[i])
+		}
+	}
+	return kept
+}
+
+// pairScanBlock is the number of graph rows whose τ-edges are
+// materialized per parallel round of clusterTemplates. Between rounds the
+// union-find absorbs the round's edges, so the next round's root snapshot
+// can skip already-connected pairs (the same shortcut the sequential scan
+// takes pair-by-pair); within a round edge memory is bounded by
+// pairScanBlock·n instead of the full n²/2 triangle.
+const pairScanBlock = 256
+
 // clusterTemplates builds the correlation graph over templates plus metric
 // temp nodes and returns its connected components (templates only).
-func clusterTemplates(in Input, tau float64) []cluster {
+//
+// The pairwise-Pearson scan over the upper triangle is the O(n²) heart of
+// the Fig. 7 scalability curve. With workers == 1 it runs the classic
+// sequential loop; otherwise rows are sharded across the pool in blocks,
+// every worker appending τ-edges to the row it owns, and the union-find
+// consumes the rows strictly in (i, j) order afterwards. Skipped
+// already-connected pairs never change connected components, and
+// component enumeration orders clusters by smallest member index, so the
+// resulting partition — and every downstream ranking — is identical for
+// every worker count.
+func clusterTemplates(in Input, tau float64, workers int) []cluster {
 	nT := len(in.Templates)
-	// Standardize each node's downsampled #execution (or metric) series:
-	// corr(a, b) then reduces to a dot product.
-	vecs := make([][]float64, 0, nT+len(in.Metrics))
-	for _, t := range in.Templates {
-		vecs = append(vecs, standardize(t.Exec.Downsample(clusterGranularitySec)))
-	}
+	// Standardize each node's downsampled #execution (or metric) series
+	// once up front: corr(a, b) then reduces to a dot product per pair
+	// instead of a per-pair re-standardization.
 	metricNames := make([]string, 0, len(in.Metrics))
 	for name := range in.Metrics {
 		metricNames = append(metricNames, name)
 	}
 	sort.Strings(metricNames)
-	for _, name := range metricNames {
-		vecs = append(vecs, standardize(in.Metrics[name].Downsample(clusterGranularitySec)))
-	}
-
-	uf := newUnionFind(len(vecs))
-	for i := 0; i < len(vecs); i++ {
-		if vecs[i] == nil {
-			continue
+	n := nT + len(metricNames)
+	vecs := make([][]float64, n)
+	parallel.ForEach(workers, n, func(i int) {
+		if i < nT {
+			vecs[i] = standardize(in.Templates[i].Exec.Downsample(clusterGranularitySec))
+		} else {
+			vecs[i] = standardize(in.Metrics[metricNames[i-nT]].Downsample(clusterGranularitySec))
 		}
-		for j := i + 1; j < len(vecs); j++ {
-			if vecs[j] == nil || uf.find(i) == uf.find(j) {
+	})
+
+	uf := newUnionFind(n)
+	if parallel.Resolve(workers) <= 1 {
+		for i := 0; i < n; i++ {
+			if vecs[i] == nil {
 				continue
 			}
-			if dot(vecs[i], vecs[j]) > tau {
-				uf.union(i, j)
+			for j := i + 1; j < n; j++ {
+				if vecs[j] == nil || uf.find(i) == uf.find(j) {
+					continue
+				}
+				if dot(vecs[i], vecs[j]) > tau {
+					uf.union(i, j)
+				}
+			}
+		}
+	} else {
+		// roots is a read-only snapshot of the union-find taken between
+		// rounds; workers consult it instead of uf.find, whose path
+		// halving mutates shared state.
+		roots := make([]int, n)
+		edges := make([][]int32, pairScanBlock)
+		for blockLo := 0; blockLo < n; blockLo += pairScanBlock {
+			blockHi := blockLo + pairScanBlock
+			if blockHi > n {
+				blockHi = n
+			}
+			for i := 0; i < n; i++ {
+				roots[i] = uf.find(i)
+			}
+			parallel.ForEach(workers, blockHi-blockLo, func(r int) {
+				i := blockLo + r
+				edges[r] = edges[r][:0]
+				if vecs[i] == nil {
+					return
+				}
+				for j := i + 1; j < n; j++ {
+					if vecs[j] == nil || roots[i] == roots[j] {
+						continue
+					}
+					if dot(vecs[i], vecs[j]) > tau {
+						edges[r] = append(edges[r], int32(j))
+					}
+				}
+			})
+			for r := 0; r < blockHi-blockLo; r++ {
+				for _, j := range edges[r] {
+					uf.union(blockLo+r, int(j))
+				}
 			}
 		}
 	}

@@ -21,6 +21,9 @@
 package session
 
 import (
+	"sort"
+
+	"pinsql/internal/parallel"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/timeseries"
 )
@@ -111,58 +114,94 @@ func EstimateNoBuckets(queries Queries, startMs int64, seconds int) *Estimate {
 // SHOW STATUS value, and evaluate per-template expectations there. observed
 // must hold one SHOW STATUS sample per second (length ≥ seconds).
 func EstimateBuckets(queries Queries, observed timeseries.Series, startMs int64, seconds, k int) *Estimate {
+	return EstimateBucketsWorkers(queries, observed, startMs, seconds, k, 1)
+}
+
+// EstimateBucketsWorkers is EstimateBuckets with the diagnosis pipeline's
+// Workers knob: 1 runs sequentially on the calling goroutine, <= 0 uses
+// GOMAXPROCS workers. The result is identical for every worker count:
+// bucket totals and selection are sharded by second (each second's
+// accumulation is owned by exactly one worker and runs in sorted template
+// order), and per-template accumulation is sharded by template (each
+// series is owned by exactly one worker) — no cross-worker reduction ever
+// happens, so even the floating-point addition order is fixed.
+func EstimateBucketsWorkers(queries Queries, observed timeseries.Series, startMs int64, seconds, k, workers int) *Estimate {
 	if k <= 0 {
 		k = DefaultBuckets
 	}
 	est := newEstimate(queries, seconds)
-	bucketLen := 1000.0 / float64(k)
-
-	// Pass 1: expected total session per (second, bucket).
-	totals := make([][]float64, seconds)
-	for i := range totals {
-		totals[i] = make([]float64, k)
+	if seconds <= 0 {
+		return est
 	}
-	for _, obs := range queries {
-		for _, q := range obs {
+	bucketLen := 1000.0 / float64(k)
+	ids := sortedIDs(queries)
+
+	// Per-second index of the queries whose active interval touches each
+	// second, in sorted template order so every second's accumulation
+	// order is independent of both map iteration and worker count.
+	perSec := make([][]Obs, seconds)
+	for _, id := range ids {
+		for _, q := range queries[id] {
 			first, last := secondSpan(q, startMs, seconds)
 			for sec := first; sec <= last; sec++ {
-				base := float64(startMs + int64(sec)*1000)
+				perSec[sec] = append(perSec[sec], q)
+			}
+		}
+	}
+
+	// Pass 1+2 fused and sharded by second: expected total session per
+	// bucket, then selection against the observed SHOW STATUS value.
+	parallel.Blocks(workers, seconds, func(lo, hi int) {
+		totals := make([]float64, k)
+		for sec := lo; sec < hi; sec++ {
+			for b := range totals {
+				totals[b] = 0
+			}
+			base := float64(startMs + int64(sec)*1000)
+			for _, q := range perSec[sec] {
 				for b := 0; b < k; b++ {
-					lo := base + float64(b)*bucketLen
-					ov := overlapMs(q, lo, lo+bucketLen)
-					if ov > 0 {
-						totals[sec][b] += ov / bucketLen
+					blo := base + float64(b)*bucketLen
+					if ov := overlapMs(q, blo, blo+bucketLen); ov > 0 {
+						totals[b] += ov / bucketLen
 					}
 				}
 			}
-		}
-	}
-
-	// Pass 2: bucket selection against the observed SHOW STATUS value.
-	for sec := 0; sec < seconds; sec++ {
-		var target float64
-		if sec < len(observed) {
-			target = observed[sec]
-		}
-		best, bestDiff := 0, abs(totals[sec][0]-target)
-		for b := 1; b < k; b++ {
-			if d := abs(totals[sec][b] - target); d < bestDiff {
-				best, bestDiff = b, d
+			var target float64
+			if sec < len(observed) {
+				target = observed[sec]
 			}
+			best, bestDiff := 0, abs(totals[0]-target)
+			for b := 1; b < k; b++ {
+				if d := abs(totals[b] - target); d < bestDiff {
+					best, bestDiff = b, d
+				}
+			}
+			est.SelBucket[sec] = best
 		}
-		est.SelBucket[sec] = best
-	}
+	})
 
-	// Pass 3: per-template expectation inside the selected bucket.
-	for id, obs := range queries {
-		s := est.PerTemplate[id]
-		accumulate(s, obs, startMs, seconds, func(sec int) (float64, float64) {
+	// Pass 3: per-template expectation inside the selected bucket, sharded
+	// by template — each worker writes only the series it owns.
+	parallel.ForEach(workers, len(ids), func(ti int) {
+		id := ids[ti]
+		accumulate(est.PerTemplate[id], queries[id], startMs, seconds, func(sec int) (float64, float64) {
 			lo := float64(startMs+int64(sec)*1000) + float64(est.SelBucket[sec])*bucketLen
 			return lo, lo + bucketLen
 		})
-	}
+	})
 	est.sumTotal()
 	return est
+}
+
+// sortedIDs returns the template IDs of queries in ascending order, fixing
+// an iteration order for the map.
+func sortedIDs(queries Queries) []sqltemplate.ID {
+	ids := make([]sqltemplate.ID, 0, len(queries))
+	for id := range queries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // accumulate adds each query's observation probability to s for every
@@ -217,8 +256,16 @@ func newEstimate(queries Queries, seconds int) *Estimate {
 }
 
 func (e *Estimate) sumTotal() {
-	for _, s := range e.PerTemplate {
-		for i, v := range s {
+	// Sum in sorted template order: Total's floating-point bits must not
+	// depend on map iteration order (the Workers-equivalence property
+	// tests compare estimates for exact equality).
+	ids := make([]sqltemplate.ID, 0, len(e.PerTemplate))
+	for id := range e.PerTemplate {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for i, v := range e.PerTemplate[id] {
 			e.Total[i] += v
 		}
 	}

@@ -1,0 +1,77 @@
+package session
+
+// Workers-equivalence property for the sharded bucket estimator: for
+// random query logs, EstimateBucketsWorkers must return the exact same
+// Estimate — selected buckets, per-template series, and total, down to
+// floating-point bits — for every worker count.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+)
+
+// randomQueries builds a query log with boundary-hostile observations:
+// arrivals before the window, responses spilling past it, zero response
+// times, and sub-millisecond bursts.
+func randomQueries(rng *rand.Rand, startMs int64, seconds int) (Queries, timeseries.Series) {
+	q := make(Queries)
+	nTemplates := rng.Intn(9)
+	for t := 0; t < nTemplates; t++ {
+		id := sqltemplate.ID(fmt.Sprintf("T%02d", t))
+		nObs := rng.Intn(41)
+		for o := 0; o < nObs; o++ {
+			arrival := startMs + int64(rng.Intn(seconds*1000+4000)) - 2000
+			q[id] = append(q[id], Obs{
+				ArrivalMs:  arrival,
+				ResponseMs: rng.Float64() * 5000,
+			})
+		}
+	}
+	observed := make(timeseries.Series, seconds)
+	for i := range observed {
+		observed[i] = rng.Float64() * float64(nTemplates+1)
+	}
+	return q, observed
+}
+
+func TestEstimateBucketsWorkersEquivalence(t *testing.T) {
+	const (
+		startMs = 1000
+		seconds = 30
+		k       = 10
+	)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		queries, observed := randomQueries(rng, startMs, seconds)
+		seq := EstimateBucketsWorkers(queries, observed, startMs, seconds, k, 1)
+		for _, w := range []int{2, 4, 0} { // 0 = GOMAXPROCS
+			par := EstimateBucketsWorkers(queries, observed, startMs, seconds, k, w)
+			if !reflect.DeepEqual(seq, par) {
+				t.Logf("seed %d workers=%d: estimates diverged", seed, w)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEstimateBucketsWrapperIsSequential pins the compatibility contract:
+// the original EstimateBuckets signature is the Workers=1 path.
+func TestEstimateBucketsWrapperIsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	queries, observed := randomQueries(rng, 0, 20)
+	a := EstimateBuckets(queries, observed, 0, 20, 10)
+	b := EstimateBucketsWorkers(queries, observed, 0, 20, 10, 1)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("EstimateBuckets diverged from EstimateBucketsWorkers(..., 1)")
+	}
+}

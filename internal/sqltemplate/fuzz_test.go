@@ -1,0 +1,75 @@
+package sqltemplate
+
+// Native fuzzing for the SQL normalizer, the first code every logged
+// statement passes through: it must never panic on hostile input, must be
+// idempotent (a template is its own template), and must keep the
+// template → SQL ID mapping functional (equal template text, equal ID).
+//
+// Run a longer campaign with: go test -fuzz=FuzzNormalize ./internal/sqltemplate
+// (the Makefile's fuzz-smoke target runs a 10 s slice in CI).
+
+import (
+	"testing"
+	"unicode/utf8"
+)
+
+func FuzzNormalize(f *testing.F) {
+	seeds := []string{
+		// Plain statements and literal kinds.
+		"SELECT * FROM orders WHERE id = 42",
+		"select name from users where age >= 18 and city = 'NY' limit 10",
+		"INSERT INTO t (a, b) VALUES (1.5, -2)",
+		"UPDATE t SET x = 0x1F, y = 1e-9 WHERE z IN (1, 2, 3)",
+		"SELECT * FROM t WHERE price > -3.25e+10",
+		// Quoted strings with escapes.
+		`SELECT * FROM t WHERE s = 'it''s fine'`,
+		`SELECT * FROM t WHERE s = 'back\'slash' AND r = "dq\"uote"`,
+		`SELECT * FROM t WHERE s = 'unterminated`,
+		"SELECT `weird ident` FROM `a b`",
+		// Comments and operators.
+		"SELECT 1 -- trailing comment",
+		"SELECT /* block */ 1 /* unterminated",
+		"SELECT a FROM t WHERE b <> 1 AND c != 2 AND d <= 3",
+		// Collapsing IN lists.
+		"DELETE FROM t WHERE id IN (1, 2, 3, 4, 5)",
+		"SELECT * FROM t WHERE id IN (SELECT id FROM u)",
+		// Multibyte input.
+		"SELECT * FROM 用户 WHERE 名字 = '张三'",
+		"SELECT 'héllo wörld' FROM t WHERE e = '😀'",
+		// Degenerates.
+		"", " ", "''", "`", "--", "/*", "?", "IN (", "0x", "1.2.3.4",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, sql string) {
+		once := Normalize(sql) // must not panic
+		twice := Normalize(once)
+		if once != twice {
+			t.Errorf("not idempotent:\n in: %q\n 1x: %q\n 2x: %q", sql, once, twice)
+		}
+
+		// Equal templates hash to equal IDs, and New is consistent with
+		// the Normalize/HashID pair it composes.
+		tpl := New(sql)
+		if tpl.Text != once {
+			t.Errorf("New text %q != Normalize %q", tpl.Text, once)
+		}
+		if tpl.ID != HashID(once) {
+			t.Errorf("New ID %q != HashID of template %q", tpl.ID, once)
+		}
+		if again := New(sql); again != tpl {
+			t.Errorf("New not deterministic: %+v vs %+v", tpl, again)
+		}
+		// A template normalized again is the same template with the same ID.
+		if reTpl := New(once); reTpl.ID != tpl.ID {
+			t.Errorf("template of template changed ID: %q -> %q", tpl.ID, reTpl.ID)
+		}
+
+		// The normalizer must not invent invalid UTF-8 out of valid input.
+		if utf8.ValidString(sql) && !utf8.ValidString(once) {
+			t.Errorf("valid input normalized to invalid UTF-8: %q -> %q", sql, once)
+		}
+	})
+}

@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"strings"
 	"unicode"
+	"unicode/utf8"
 )
 
 // Placeholder is the token substituted for every literal value.
@@ -88,8 +89,14 @@ func tokenize(sql string) []string {
 			}
 			if j < n && sql[j] == '`' {
 				j++
+				tokens = append(tokens, sql[i:j])
+			} else {
+				// Unterminated: close the quote ourselves, otherwise the
+				// rendered template re-tokenizes differently (a following
+				// backtick would pair with the dangling one across the
+				// inserted space — found by FuzzNormalize).
+				tokens = append(tokens, sql[i:j]+"`")
 			}
-			tokens = append(tokens, sql[i:j])
 			i = j
 		case isDigit(c) && !prevIsIdentifier(tokens):
 			// Numeric literal (integer, decimal, scientific, hex).
@@ -285,8 +292,13 @@ func startsLiteralContext(tokens []string) bool {
 
 func isDigit(c byte) bool    { return c >= '0' && c <= '9' }
 func isHexDigit(c byte) bool { return isDigit(c) || (c|0x20 >= 'a' && c|0x20 <= 'f') }
+
+// isIdentStart treats every non-ASCII byte as part of an identifier, as
+// MySQL does for unquoted identifiers: a multibyte UTF-8 rune must stay
+// one token, or normalization would split it into invalid byte fragments
+// (found by FuzzNormalize).
 func isIdentStart(c byte) bool {
-	return c == '_' || c == '$' || unicode.IsLetter(rune(c))
+	return c == '_' || c == '$' || c >= utf8.RuneSelf || unicode.IsLetter(rune(c))
 }
 func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
 
