@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz-smoke bench-parallel clean
+.PHONY: all build test race vet fuzz-smoke bench-parallel bench-logstore clean
 
 all: build vet test
 
@@ -23,15 +23,25 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Short fuzzing campaign over sqltemplate.Normalize (panic-freedom,
-# idempotence, stable template IDs). Long campaigns: raise -fuzztime.
+# Short fuzzing campaigns: sqltemplate.Normalize (panic-freedom,
+# idempotence, stable template IDs) and the segment store's record codec
+# (round-trip, canonical re-encode, CRC corruption rejection). Long
+# campaigns: raise -fuzztime.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzNormalize -fuzztime=10s ./internal/sqltemplate
+	$(GO) test -run=^$$ -fuzz=FuzzRecordCodec -fuzztime=10s ./internal/logstore/segment
+	$(GO) test -run=^$$ -fuzz=FuzzFrameParser -fuzztime=5s ./internal/logstore/segment
 
 # Parallel-pipeline speedup sweep (Workers in {1, 2, 4, NumCPU}) on a
 # ~4000-template case.
 bench-parallel:
 	$(GO) test -run=^$$ -bench=BenchmarkDiagnoseParallel -benchtime=3x .
+
+# Log-store backend comparison: append/scan throughput of the in-memory
+# store versus the durable segment store, plus restart-recovery latency
+# and disk footprint (with a cross-backend scan-equivalence check).
+bench-logstore:
+	$(GO) test -run=^$$ -bench=BenchmarkLogStoreBackends -benchtime=3x .
 
 clean:
 	$(GO) clean ./...

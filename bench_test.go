@@ -259,3 +259,32 @@ func BenchmarkAblation_BucketK(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkLogStoreBackends compares the in-memory and durable segment
+// log-store backends on an identical ingest: append and windowed-scan
+// throughput for both, restart-recovery latency and disk footprint for the
+// durable store. The harness also asserts the two backends streamed
+// byte-identical scan sequences.
+func BenchmarkLogStoreBackends(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RunLogStoreBench(bench.LogStoreBenchOptions{
+			Seed: 7, Topics: 2, Records: 30_000, Windows: 32, Dir: b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Equivalent {
+			b.Fatalf("backend scan sequences diverged\n%s", res.Format())
+		}
+		mem, seg := res.Rows[0], res.Rows[1]
+		b.ReportMetric(mem.AppendPerSec, "mem-append-rec/s")
+		b.ReportMetric(seg.AppendPerSec, "seg-append-rec/s")
+		b.ReportMetric(mem.ScanPerSec, "mem-scan-rec/s")
+		b.ReportMetric(seg.ScanPerSec, "seg-scan-rec/s")
+		b.ReportMetric(seg.RecoverMs, "seg-recover-ms")
+		b.ReportMetric(float64(seg.DiskBytes)/float64(2*30_000), "seg-bytes/rec")
+		if i == 0 {
+			b.Log("\n" + res.Format())
+		}
+	}
+}

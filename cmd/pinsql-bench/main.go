@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|all")
+		exp     = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|logstore|all")
 		n       = flag.Int("cases", 24, "corpus size for table1/fig6/families")
 		seed    = flag.Int64("seed", 1, "corpus seed")
 		param   = flag.String("param", "ks", "sweep parameter: ks|tau|buckets")
@@ -87,10 +87,20 @@ func main() {
 		"families": func() {
 			run("families", func() (fmt.Stringer, error) { return wrap(bench.RunFamilyBreakdown(corpus(*n))) })
 		},
+		"logstore": func() {
+			run("logstore", func() (fmt.Stringer, error) {
+				opt := bench.LogStoreBenchOptions{Seed: *seed}
+				if *small {
+					opt.Records = 10_000
+					opt.Topics = 2
+				}
+				return wrap(bench.RunLogStoreBench(opt))
+			})
+		},
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "table2", "table3", "table4", "families"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "table2", "table3", "table4", "families", "logstore"} {
 			experiments[name]()
 		}
 		return

@@ -8,9 +8,16 @@
 // Each monitoring window simulates `-window` seconds of instance time; a
 // random anomaly is injected every few windows so the pipeline has work.
 //
+// With -data-dir the query-log store and template registry live on disk
+// (internal/logstore/segment): a restart reopens the store, replays the
+// registry snapshot + delta log, and resumes monitoring after the last
+// persisted record, so diagnosis history survives process death. Without
+// it everything is in memory, as before.
+//
 // Usage:
 //
 //	pinsqld -windows 6 -window 1200 -auto-repair
+//	pinsqld -data-dir /var/lib/pinsql -windows 6   # durable, resumable
 package main
 
 import (
@@ -23,12 +30,16 @@ import (
 	"pinsql/internal/core"
 	"pinsql/internal/dbsim"
 	"pinsql/internal/logstore"
+	"pinsql/internal/logstore/segment"
 	"pinsql/internal/repair"
 	"pinsql/internal/session"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/timeseries"
 	"pinsql/internal/workload"
 )
+
+// topicName is the log-store topic of the monitored instance.
+const topicName = "pinsqld"
 
 func main() {
 	var (
@@ -37,16 +48,17 @@ func main() {
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		autoRepair = flag.Bool("auto-repair", false, "execute suggested repairing actions")
 		workers    = flag.Int("workers", 0, "diagnosis worker pool (0 = GOMAXPROCS, 1 = sequential)")
+		dataDir    = flag.String("data-dir", "", "directory for the durable log store (empty = in-memory)")
 	)
 	flag.Parse()
 
-	if err := run(*windows, *windowSec, *seed, *autoRepair, *workers); err != nil {
+	if err := run(*windows, *windowSec, *seed, *autoRepair, *workers, *dataDir); err != nil {
 		fmt.Fprintln(os.Stderr, "pinsqld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(windows, windowSec int, seed int64, autoRepair bool, workers int) error {
+func run(windows, windowSec int, seed int64, autoRepair bool, workers int, dataDir string) error {
 	world := workload.DefaultWorld(seed)
 	world.AddFillerServices(3, 6)
 	cfg := dbsim.DefaultConfig()
@@ -54,8 +66,41 @@ func run(windows, windowSec int, seed int64, autoRepair bool, workers int) error
 	inst := dbsim.NewInstance(cfg)
 	world.Apply(inst)
 
-	registry := collect.NewRegistry()
-	store := logstore.New(0)
+	// Storage backend: in-memory by default; with -data-dir, the durable
+	// segment store plus restart replay of the persisted registry, and
+	// monitoring resumes after the last persisted record.
+	var (
+		registry *collect.Registry
+		store    logstore.Backend
+		baseMs   int64
+	)
+	if dataDir == "" {
+		registry = collect.NewRegistry()
+		store = logstore.New(0)
+	} else {
+		seg, err := segment.Open(dataDir, segment.Options{})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := seg.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "pinsqld: closing store:", err)
+			}
+		}()
+		if registry, err = collect.OpenRegistry(seg); err != nil {
+			return err
+		}
+		store = seg
+		if _, maxMs, ok := seg.Bounds(topicName); ok {
+			// Resume on the window boundary after the newest record.
+			windowMs := int64(windowSec) * 1000
+			baseMs = (maxMs/windowMs + 1) * windowMs
+			fmt.Printf("recovered %s: %d records (through %d s), %d templates; resuming at window %d\n",
+				dataDir, seg.Len(topicName), maxMs/1000, registry.Len(), baseMs/windowMs)
+		} else {
+			fmt.Printf("opened %s: empty store, %d templates\n", dataDir, registry.Len())
+		}
+	}
 	broker := collect.NewBroker()
 	defer broker.Close()
 	det := anomaly.NewDetector(anomaly.Config{})
@@ -70,8 +115,8 @@ func run(windows, windowSec int, seed int64, autoRepair bool, workers int) error
 	}
 
 	for w := 0; w < windows; w++ {
-		fromMs := int64(w*windowSec) * 1000
-		toMs := int64((w+1)*windowSec) * 1000
+		fromMs := baseMs + int64(w*windowSec)*1000
+		toMs := baseMs + int64((w+1)*windowSec)*1000
 		fmt.Printf("=== window %d: [%d, %d) s ===\n", w, fromMs/1000, toMs/1000)
 
 		// Every other window gets an injected incident.
@@ -83,15 +128,15 @@ func run(windows, windowSec int, seed int64, autoRepair bool, workers int) error
 		}
 
 		// Streaming collection: instance → broker → aggregator.
-		lostBefore := broker.Dropped("pinsqld")
-		coll := collect.NewCollector("pinsqld", fromMs, toMs, registry, store)
-		ch, cancel := broker.Subscribe("pinsqld", 4096)
+		lostBefore := broker.Dropped(topicName)
+		coll := collect.NewCollector(topicName, fromMs, toMs, registry, store)
+		ch, cancel := broker.Subscribe(topicName, 4096)
 		done := collect.NewStreamAggregator(coll).Consume(ch)
 		secs, err := inst.Run(dbsim.RunOptions{
 			StartMs: fromMs,
 			EndMs:   toMs,
 			Source:  world.Source(fromMs, toMs, seed+int64(w)),
-			Sink:    broker.Sink("pinsqld"),
+			Sink:    broker.Sink(topicName),
 		})
 		cancel()
 		<-done
@@ -101,7 +146,7 @@ func run(windows, windowSec int, seed int64, autoRepair bool, workers int) error
 		coll.IngestMetrics(secs)
 		snap := coll.Snapshot()
 		store.Expire(toMs) // keep the log store within its TTL budget
-		if lost := broker.Dropped("pinsqld") - lostBefore; lost > 0 {
+		if lost := broker.Dropped(topicName) - lostBefore; lost > 0 {
 			// Backpressure loss: the aggregator fell behind the producer
 			// and records were shed at the broker (by design — never slow
 			// the instance). Surfaced so a DBA can size the buffer.
@@ -160,10 +205,14 @@ func run(windows, windowSec int, seed int64, autoRepair bool, workers int) error
 
 func queriesOf(coll *collect.Collector, snap *collect.Snapshot) session.Queries {
 	out := make(session.Queries)
-	recs := coll.Store().Scan(snap.Topic, snap.StartMs, snap.StartMs+int64(snap.Seconds)*1000)
-	for _, r := range recs {
-		id := coll.Registry().At(r.TemplateIdx).ID
-		out[id] = append(out[id], session.Obs{ArrivalMs: r.ArrivalMs, ResponseMs: r.ResponseMs})
-	}
+	reg := coll.Registry()
+	// Stream the window instead of materializing a copy of every record:
+	// the diagnosis window can span millions of observations.
+	coll.Store().ScanFunc(snap.Topic, snap.StartMs, snap.StartMs+int64(snap.Seconds)*1000,
+		func(r logstore.Record) bool {
+			id := reg.At(r.TemplateIdx).ID
+			out[id] = append(out[id], session.Obs{ArrivalMs: r.ArrivalMs, ResponseMs: r.ResponseMs})
+			return true
+		})
 	return out
 }

@@ -8,6 +8,7 @@ import (
 	"pinsql/internal/collect"
 	"pinsql/internal/core"
 	"pinsql/internal/dbsim"
+	"pinsql/internal/logstore"
 	"pinsql/internal/rank"
 	"pinsql/internal/repair"
 	"pinsql/internal/session"
@@ -194,11 +195,13 @@ func fig8Phenomenon(snap *collect.Snapshot) anomaly.Phenomenon {
 
 func queriesFromCollector(coll *collect.Collector, snap *collect.Snapshot) session.Queries {
 	out := make(session.Queries)
-	recs := coll.Store().Scan(snap.Topic, snap.StartMs, snap.StartMs+int64(snap.Seconds)*1000)
-	for _, r := range recs {
-		id := coll.Registry().At(r.TemplateIdx).ID
-		out[id] = append(out[id], session.Obs{ArrivalMs: r.ArrivalMs, ResponseMs: r.ResponseMs})
-	}
+	reg := coll.Registry()
+	coll.Store().ScanFunc(snap.Topic, snap.StartMs, snap.StartMs+int64(snap.Seconds)*1000,
+		func(r logstore.Record) bool {
+			id := reg.At(r.TemplateIdx).ID
+			out[id] = append(out[id], session.Obs{ArrivalMs: r.ArrivalMs, ResponseMs: r.ResponseMs})
+			return true
+		})
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"pinsql/internal/cases"
 	"pinsql/internal/core"
+	"pinsql/internal/logstore"
 	"pinsql/internal/repair"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/workload"
@@ -117,13 +118,13 @@ func slowestTemplate(lab *cases.Labeled, as, ae int) sqltemplate.ID {
 	snap := lab.Case.Snapshot
 	fromMs := snap.StartMs + int64(as)*1000
 	toMs := snap.StartMs + int64(ae)*1000
-	recs := lab.Collector.Store().Scan(snap.Topic, fromMs, toMs)
 	slow := make(map[int32]int)
-	for _, r := range recs {
+	lab.Collector.Store().ScanFunc(snap.Topic, fromMs, toMs, func(r logstore.Record) bool {
 		if r.ResponseMs > 1000 {
 			slow[r.TemplateIdx]++
 		}
-	}
+		return true
+	})
 	var best sqltemplate.ID
 	bestN := 0
 	for idx, n := range slow {

@@ -19,6 +19,7 @@ import (
 	"pinsql/internal/anomaly"
 	"pinsql/internal/collect"
 	"pinsql/internal/dbsim"
+	"pinsql/internal/logstore"
 	"pinsql/internal/session"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/timeseries"
@@ -332,14 +333,17 @@ func lift(s timeseries.Series, as, ae int) float64 {
 	return s.Slice(as, ae).Mean() - s.Slice(0, as).Mean()
 }
 
-// QueriesOf converts a collector's raw log into the estimator's input.
+// QueriesOf converts a collector's raw log into the estimator's input,
+// streaming the store's range instead of materializing a copy of it.
 func QueriesOf(coll *collect.Collector, snap *collect.Snapshot) session.Queries {
 	out := make(session.Queries)
-	recs := coll.Store().Scan(snap.Topic, snap.StartMs, snap.StartMs+int64(snap.Seconds)*1000)
-	for _, r := range recs {
-		id := coll.Registry().At(r.TemplateIdx).ID
-		out[id] = append(out[id], session.Obs{ArrivalMs: r.ArrivalMs, ResponseMs: r.ResponseMs})
-	}
+	reg := coll.Registry()
+	coll.Store().ScanFunc(snap.Topic, snap.StartMs, snap.StartMs+int64(snap.Seconds)*1000,
+		func(r logstore.Record) bool {
+			id := reg.At(r.TemplateIdx).ID
+			out[id] = append(out[id], session.Obs{ArrivalMs: r.ArrivalMs, ResponseMs: r.ResponseMs})
+			return true
+		})
 	return out
 }
 

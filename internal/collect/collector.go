@@ -79,7 +79,7 @@ type Collector struct {
 	startMs  int64
 	seconds  int
 	registry *Registry
-	store    *logstore.Store
+	store    logstore.Backend
 
 	templates map[int32]*TemplateSeries
 
@@ -88,8 +88,10 @@ type Collector struct {
 
 // NewCollector creates a collector for the window [startMs, endMs) on the
 // given topic (instance name). registry and store may be shared across
-// collectors; nil values create private ones.
-func NewCollector(topic string, startMs, endMs int64, registry *Registry, store *logstore.Store) *Collector {
+// collectors; nil values create private ones. The store may be any
+// logstore.Backend — the volatile in-memory store or the durable segment
+// store (logstore/segment).
+func NewCollector(topic string, startMs, endMs int64, registry *Registry, store logstore.Backend) *Collector {
 	if registry == nil {
 		registry = NewRegistry()
 	}
@@ -110,7 +112,7 @@ func NewCollector(topic string, startMs, endMs int64, registry *Registry, store 
 func (c *Collector) Registry() *Registry { return c.registry }
 
 // Store returns the log store backing this collector.
-func (c *Collector) Store() *logstore.Store { return c.store }
+func (c *Collector) Store() logstore.Backend { return c.store }
 
 // Sink returns a dbsim.LogSink that feeds this collector; plug it directly
 // into a simulation run.
@@ -218,15 +220,16 @@ func (c *Collector) Snapshot() *Snapshot {
 }
 
 // QueriesOf returns the raw per-query records of one template inside
-// [fromMs, toMs), for the session estimator.
+// [fromMs, toMs), for the session estimator. It streams the store's range
+// instead of materializing every record in the window.
 func (c *Collector) QueriesOf(idx int32, fromMs, toMs int64) []logstore.Record {
-	all := c.store.Scan(c.topic, fromMs, toMs)
-	out := all[:0]
-	for _, r := range all {
+	var out []logstore.Record
+	c.store.ScanFunc(c.topic, fromMs, toMs, func(r logstore.Record) bool {
 		if r.TemplateIdx == idx {
 			out = append(out, r)
 		}
-	}
+		return true
+	})
 	return out
 }
 

@@ -7,6 +7,7 @@
 package collect
 
 import (
+	"fmt"
 	"sync"
 
 	"pinsql/internal/dbsim"
@@ -28,6 +29,9 @@ type Registry struct {
 	mu      sync.RWMutex
 	byID    map[sqltemplate.ID]int32
 	entries []TemplateMeta
+	// onIntern, when set, observes every newly created entry (under the
+	// write lock, in dense index order) — the persistence hook.
+	onIntern func(TemplateMeta)
 }
 
 // NewRegistry creates an empty registry.
@@ -71,7 +75,44 @@ func (r *Registry) Intern(rec dbsim.LogRecord) TemplateMeta {
 	}
 	r.entries = append(r.entries, meta)
 	r.byID[id] = meta.Index
+	if r.onIntern != nil {
+		r.onIntern(meta)
+	}
 	return meta
+}
+
+// SetOnIntern installs a callback observing every newly interned template
+// in dense index order. The callback runs under the registry's write lock:
+// it must be quick and must not call back into the registry.
+func (r *Registry) SetOnIntern(fn func(TemplateMeta)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.onIntern = fn
+}
+
+// Entries returns a copy of every interned template in dense index order.
+func (r *Registry) Entries() []TemplateMeta {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]TemplateMeta, len(r.entries))
+	copy(out, r.entries)
+	return out
+}
+
+// restore re-inserts a previously persisted entry; metas must arrive in
+// dense index order with no duplicates.
+func (r *Registry) restore(meta TemplateMeta) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(meta.Index) != len(r.entries) {
+		return fmt.Errorf("collect: registry restore index %d, want %d", meta.Index, len(r.entries))
+	}
+	if _, ok := r.byID[meta.ID]; ok {
+		return fmt.Errorf("collect: registry restore duplicate template %s", meta.ID)
+	}
+	r.entries = append(r.entries, meta)
+	r.byID[meta.ID] = meta.Index
+	return nil
 }
 
 // Lookup returns the entry for a template ID.

@@ -1,0 +1,52 @@
+package logstore
+
+// Backend is the storage contract behind the log-store layer. Two
+// implementations exist: the in-memory Store in this package (fast,
+// volatile — the original substitute for the paper's LogStore) and the
+// durable segment store in logstore/segment (crash-recoverable, TTL by
+// whole-segment deletion). Both produce byte-identical Scan results for
+// the same ingest sequence, so the diagnosis pipeline is backend-agnostic.
+type Backend interface {
+	// Append stores a record under the topic, rejecting records that
+	// arrive more than the slack window behind the previously appended
+	// record (ErrUnsortedAppend).
+	Append(topic string, rec Record) error
+
+	// AppendLoose stores a record with no ordering requirement; ordering
+	// is restored lazily before the next scan. Batch collectors use this
+	// path because query logs are emitted at statement completion.
+	AppendLoose(topic string, rec Record)
+
+	// Scan returns a copy of the records in topic with ArrivalMs in
+	// [fromMs, toMs), sorted by ArrivalMs (ties in ingest order).
+	Scan(topic string, fromMs, toMs int64) []Record
+
+	// ScanFunc streams the records of Scan's range in the same order
+	// without materializing a slice, calling fn for each; fn returning
+	// false stops the scan. fn must not call back into the store.
+	ScanFunc(topic string, fromMs, toMs int64, fn func(Record) bool)
+
+	// Bounds returns the minimum and maximum ArrivalMs over a topic's
+	// live records; ok is false for an empty or unknown topic.
+	Bounds(topic string) (minMs, maxMs int64, ok bool)
+
+	// Len returns the number of live records in a topic.
+	Len(topic string) int
+
+	// Topics returns the sorted names of topics with live records.
+	Topics() []string
+
+	// Expire drops every record with ArrivalMs < nowMs − TTL and returns
+	// the number removed.
+	Expire(nowMs int64) int
+
+	// TTL returns the configured time-to-live in milliseconds.
+	TTL() int64
+
+	// Close releases backend resources, flushing any buffered state. The
+	// in-memory backend's Close is a no-op.
+	Close() error
+}
+
+// Compile-time check: the in-memory store satisfies the contract.
+var _ Backend = (*Store)(nil)

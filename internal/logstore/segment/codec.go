@@ -1,0 +1,170 @@
+// Package segment is the durable backend of the log-store layer: a
+// topic-partitioned, segment-based on-disk store for compact query-log
+// records, the crash-recoverable substitute for the paper's LogStore
+// (§IV-A). Records are framed with a compact varint codec and a per-record
+// CRC32; an active write-ahead file per topic absorbs out-of-order
+// arrivals and is sealed into immutable, arrival-sorted segment files that
+// carry a sparse in-memory time index. TTL expiry deletes whole segments;
+// crash recovery truncates the torn tail of the active file and rebuilds
+// every index from the sealed frames.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/bits"
+
+	"pinsql/internal/logstore"
+)
+
+// Frame layout (everything on disk is a sequence of frames after a file
+// magic):
+//
+//	uvarint(len(payload)) | payload | crc32-IEEE(payload) LE u32
+//
+// A frame whose length header, payload, or CRC cannot be read intact marks
+// the torn tail of an append-only file: recovery keeps every frame before
+// it and truncates the rest.
+
+// maxFrameLen bounds a single frame payload; anything larger is treated as
+// corruption rather than an allocation request.
+const maxFrameLen = 1 << 20
+
+// errCorrupt reports a frame that is truncated, oversized, or fails its
+// CRC — the decode position is not advanced past it.
+var errCorrupt = errors.New("segment: corrupt or truncated frame")
+
+// appendFrame appends one CRC-protected frame carrying payload to dst.
+func appendFrame(dst, payload []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(payload))
+}
+
+// nextFrame parses the frame starting at data[off:]. It returns the
+// payload (aliasing data) and the offset just past the frame, or
+// errCorrupt if the frame is torn or fails its CRC.
+func nextFrame(data []byte, off int) (payload []byte, next int, err error) {
+	n, ln := binary.Uvarint(data[off:])
+	if ln <= 0 || n > maxFrameLen {
+		return nil, off, errCorrupt
+	}
+	start := off + ln
+	end := start + int(n)
+	if end+4 > len(data) {
+		return nil, off, errCorrupt
+	}
+	payload = data[start:end]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(data[end:]) {
+		return nil, off, errCorrupt
+	}
+	return payload, end + 4, nil
+}
+
+// Record payload layout, delta-encoded against the previous record in the
+// same file (prev = 0 before the first record):
+//
+//	varint(ArrivalMs − prev) | uvarint(TemplateIdx) |
+//	uvarint(reverse-bytes(float64-bits(ResponseMs))) | varint(ExaminedRows)
+//
+// Arrival deltas between neighbouring records are small, so the varint is
+// short; reversing the float's bytes moves the always-set exponent bits to
+// the low end so round response times also encode in a few bytes.
+
+// appendRecord appends the payload encoding of rec to dst.
+func appendRecord(dst []byte, prev int64, rec logstore.Record) []byte {
+	dst = binary.AppendVarint(dst, rec.ArrivalMs-prev)
+	dst = binary.AppendUvarint(dst, uint64(uint32(rec.TemplateIdx)))
+	dst = binary.AppendUvarint(dst, bits.ReverseBytes64(math.Float64bits(rec.ResponseMs)))
+	return binary.AppendVarint(dst, rec.ExaminedRows)
+}
+
+// decodeRecord decodes one record payload produced by appendRecord.
+func decodeRecord(payload []byte, prev int64) (logstore.Record, error) {
+	var rec logstore.Record
+	delta, n := binary.Varint(payload)
+	if n <= 0 {
+		return rec, errCorrupt
+	}
+	payload = payload[n:]
+	tpl, n := binary.Uvarint(payload)
+	if n <= 0 || tpl > math.MaxUint32 {
+		return rec, errCorrupt
+	}
+	payload = payload[n:]
+	fbits, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return rec, errCorrupt
+	}
+	payload = payload[n:]
+	rows, n := binary.Varint(payload)
+	if n <= 0 || n != len(payload) {
+		return rec, errCorrupt
+	}
+	rec.ArrivalMs = prev + delta
+	rec.TemplateIdx = int32(uint32(tpl))
+	rec.ResponseMs = math.Float64frombits(bits.ReverseBytes64(fbits))
+	rec.ExaminedRows = rows
+	return rec, nil
+}
+
+// appendString appends a length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decodeString decodes a length-prefixed string from p, returning it and
+// the number of bytes consumed.
+func decodeString(p []byte) (string, int, error) {
+	ln, n := binary.Uvarint(p)
+	if n <= 0 || ln > maxFrameLen || int(ln) > len(p)-n {
+		return "", 0, errCorrupt
+	}
+	return string(p[n : n+int(ln)]), n + int(ln), nil
+}
+
+// Registry entry payload layout:
+//
+//	uvarint(Index) | str(ID) | str(Text) | str(Table) | varint(Kind)
+
+// appendRegistryEntry appends the payload encoding of a registry entry.
+func appendRegistryEntry(dst []byte, e RegistryEntry) []byte {
+	dst = binary.AppendUvarint(dst, uint64(uint32(e.Index)))
+	dst = appendString(dst, e.ID)
+	dst = appendString(dst, e.Text)
+	dst = appendString(dst, e.Table)
+	return binary.AppendVarint(dst, int64(e.Kind))
+}
+
+// decodeRegistryEntry decodes one registry entry payload.
+func decodeRegistryEntry(payload []byte) (RegistryEntry, error) {
+	var e RegistryEntry
+	idx, n := binary.Uvarint(payload)
+	if n <= 0 || idx > math.MaxUint32 {
+		return e, errCorrupt
+	}
+	payload = payload[n:]
+	var err error
+	if e.ID, n, err = decodeString(payload); err != nil {
+		return e, err
+	}
+	payload = payload[n:]
+	if e.Text, n, err = decodeString(payload); err != nil {
+		return e, err
+	}
+	payload = payload[n:]
+	if e.Table, n, err = decodeString(payload); err != nil {
+		return e, err
+	}
+	payload = payload[n:]
+	kind, n := binary.Varint(payload)
+	if n <= 0 || n != len(payload) || kind < math.MinInt32 || kind > math.MaxInt32 {
+		return e, errCorrupt
+	}
+	e.Index = int32(uint32(idx))
+	e.Kind = int32(kind)
+	return e, nil
+}

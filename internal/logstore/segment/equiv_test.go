@@ -1,0 +1,153 @@
+package segment
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pinsql/internal/logstore"
+)
+
+// TestBackendEquivalence drives the same ingest run into the in-memory
+// store and the durable segment store and asserts byte-identical Scan
+// results over many windows — the contract that makes the diagnosis
+// pipeline backend-agnostic. The run mixes strict and loose appends,
+// multiple topics, ties, TTL expiry, and a close/reopen cycle (restart
+// replay) in the middle.
+func TestBackendEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	mem := logstore.New(60_000)
+	seg := logstore.Backend(mustOpen(t, dir, Options{TTLMs: 60_000, SegmentRecords: 32, IndexEvery: 4}))
+
+	rng := rand.New(rand.NewSource(7))
+	topics := []string{"alpha", "beta", "gamma"}
+	clock := make(map[string]int64)
+
+	ingest := func(n int) {
+		for i := 0; i < n; i++ {
+			topic := topics[rng.Intn(len(topics))]
+			clock[topic] += int64(rng.Intn(400))
+			rec := logstore.Record{
+				TemplateIdx:  int32(rng.Intn(50)),
+				ArrivalMs:    clock[topic],
+				ResponseMs:   rng.Float64() * 1000,
+				ExaminedRows: int64(rng.Intn(10_000)),
+			}
+			if rng.Intn(3) == 0 {
+				// Loose append with an arbitrarily late completion.
+				rec.ArrivalMs -= int64(rng.Intn(30_000))
+				mem.AppendLoose(topic, rec)
+				seg.AppendLoose(topic, rec)
+			} else {
+				errMem := mem.Append(topic, rec)
+				errSeg := seg.Append(topic, rec)
+				if (errMem == nil) != (errSeg == nil) {
+					t.Fatalf("append divergence for %+v: mem=%v seg=%v", rec, errMem, errSeg)
+				}
+			}
+		}
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		if got, want := seg.Topics(), mem.Topics(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: topics: seg %v, mem %v", stage, got, want)
+		}
+		for _, topic := range topics {
+			if got, want := seg.Len(topic), mem.Len(topic); got != want {
+				t.Fatalf("%s: %s: Len seg %d, mem %d", stage, topic, got, want)
+			}
+			gmin, gmax, gok := seg.Bounds(topic)
+			wmin, wmax, wok := mem.Bounds(topic)
+			if gmin != wmin || gmax != wmax || gok != wok {
+				t.Fatalf("%s: %s: Bounds seg (%d,%d,%v), mem (%d,%d,%v)", stage, topic, gmin, gmax, gok, wmin, wmax, wok)
+			}
+			// Whole-range scan plus a sweep of sub-windows.
+			windows := [][2]int64{{0, 1 << 62}}
+			for w := 0; w < 20; w++ {
+				from := rng.Int63n(clock[topic] + 1000)
+				to := from + rng.Int63n(20_000)
+				windows = append(windows, [2]int64{from, to})
+			}
+			for _, win := range windows {
+				got := seg.Scan(topic, win[0], win[1])
+				want := mem.Scan(topic, win[0], win[1])
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: %s: Scan[%d,%d) diverged:\n seg %v\n mem %v",
+						stage, topic, win[0], win[1], got, want)
+				}
+				// The streaming iterator must visit the same sequence.
+				var streamed []logstore.Record
+				seg.ScanFunc(topic, win[0], win[1], func(r logstore.Record) bool {
+					streamed = append(streamed, r)
+					return true
+				})
+				if len(streamed) != len(want) || (len(want) > 0 && !reflect.DeepEqual(streamed, want)) {
+					t.Fatalf("%s: %s: ScanFunc diverged from Scan", stage, topic)
+				}
+			}
+		}
+	}
+
+	ingest(600)
+	check("initial ingest")
+
+	// TTL expiry must remove the same records from both backends.
+	now := clock["alpha"]
+	if r1, r2 := mem.Expire(now), seg.Expire(now); r1 != r2 {
+		t.Fatalf("Expire removed mem %d, seg %d", r1, r2)
+	}
+	check("after expire")
+
+	// Restart replay: close the durable store, reopen, and the contract
+	// must still hold — including for records that only ever lived in the
+	// active wal.
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg = mustOpen(t, dir, Options{TTLMs: 60_000, SegmentRecords: 32, IndexEvery: 4})
+	defer seg.Close()
+	check("after reopen")
+
+	ingest(300)
+	check("ingest after reopen")
+
+	now = clock["beta"]
+	if r1, r2 := mem.Expire(now), seg.Expire(now); r1 != r2 {
+		t.Fatalf("post-reopen Expire removed mem %d, seg %d", r1, r2)
+	}
+	check("expire after reopen")
+}
+
+// TestBackendEquivalenceSeeds runs a compact version of the equivalence
+// drive across many seeds so segment-boundary and tie alignments vary.
+func TestBackendEquivalenceSeeds(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			mem := logstore.New(0)
+			seg := mustOpen(t, dir, Options{SegmentRecords: 8 + int(seed), IndexEvery: 2})
+			defer seg.Close()
+			rng := rand.New(rand.NewSource(seed))
+			clock := int64(0)
+			for i := 0; i < 200; i++ {
+				clock += int64(rng.Intn(100))
+				rec := logstore.Record{TemplateIdx: int32(i), ArrivalMs: clock - int64(rng.Intn(5000))}
+				mem.AppendLoose("t", rec)
+				seg.AppendLoose("t", rec)
+			}
+			if got, want := seg.Scan("t", 0, 1<<62), mem.Scan("t", 0, 1<<62); !reflect.DeepEqual(got, want) {
+				t.Fatalf("full scan diverged:\n seg %v\n mem %v", got, want)
+			}
+			for w := 0; w < 50; w++ {
+				from := rng.Int63n(clock + 1)
+				to := from + rng.Int63n(3000)
+				if got, want := seg.Scan("t", from, to), mem.Scan("t", from, to); !reflect.DeepEqual(got, want) {
+					t.Fatalf("Scan[%d,%d) diverged", from, to)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,762 @@
+package segment
+
+import (
+	"encoding/binary"
+	"math"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pinsql/internal/logstore"
+)
+
+// Options configures a durable store.
+type Options struct {
+	// TTLMs is the record time-to-live in milliseconds; ≤ 0 selects
+	// logstore.DefaultTTLMs.
+	TTLMs int64
+	// SegmentRecords seals the active file once it holds this many
+	// records (default 8192).
+	SegmentRecords int
+	// SegmentBytes seals the active file once its encoded size reaches
+	// this many bytes (default 1 MiB).
+	SegmentBytes int64
+	// IndexEvery is the sparse time-index granularity in records
+	// (default 64).
+	IndexEvery int
+	// SlackMs is the reordering tolerance of the strict Append path
+	// (default 5000, matching the in-memory store).
+	SlackMs int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TTLMs <= 0 {
+		o.TTLMs = logstore.DefaultTTLMs
+	}
+	if o.SegmentRecords <= 0 {
+		o.SegmentRecords = 8192
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 1 << 20
+	}
+	if o.IndexEvery <= 0 {
+		o.IndexEvery = 64
+	}
+	if o.SlackMs <= 0 {
+		o.SlackMs = 5000
+	}
+	return o
+}
+
+// topic is the mutable per-topic state: sealed segments, the active
+// write-ahead file, and its in-memory mirror (the memtable).
+type topic struct {
+	name string
+	dir  string
+	segs []*segfile // ascending seq
+
+	seq      uint64 // seq the active wal will seal into
+	wal      *os.File
+	walBytes int64
+
+	mem   []logstore.Record // mirror of the live wal records
+	dirty bool              // mem needs a lazy stable sort
+
+	prevArrival  int64 // delta base of the next wal frame
+	lastAppended int64 // arrival of the most recently appended record
+	runningMax   int64 // max arrival ever appended
+	haveAppends  bool
+
+	watermark int64 // records with ArrivalMs < watermark are expired
+}
+
+// Store is a durable, crash-recoverable logstore.Backend. Directory
+// layout:
+//
+//	<dir>/registry.snap          template-registry snapshot
+//	<dir>/registry.delta         registry entries appended since the snapshot
+//	<dir>/t/<topic>/NNNNNNNN.seg immutable arrival-sorted segments
+//	<dir>/t/<topic>/NNNNNNNN.wal the active append-order write-ahead file
+//	<dir>/t/<topic>/watermark    persisted TTL expiry cutoff
+//
+// Appends go to the wal (one CRC-framed record per write) and an in-memory
+// mirror; when the wal reaches the segment size the mirror is
+// stable-sorted by arrival and sealed into an immutable .seg file whose
+// sparse time index lives in memory. Scans merge the sorted segments and
+// the mirror, reproducing exactly the in-memory store's lazily sorted
+// order. Expire deletes whole segments below the TTL cutoff in O(1) per
+// segment and persists the cutoff as a watermark so partially expired
+// segments stay filtered across restarts.
+type Store struct {
+	mu     sync.Mutex
+	dir    string
+	opt    Options
+	topics map[string]*topic
+	closed bool
+
+	// The registry has its own lock so AppendRegistry can be called from
+	// a collect.Registry intern hook (which holds the registry's lock)
+	// while a scan callback holding s.mu resolves template indexes — the
+	// two paths never contend on the same mutex.
+	regMu      sync.Mutex
+	regEntries []RegistryEntry
+	regDelta   *os.File
+	regClosed  bool
+
+	// The sticky error has a leaf lock of its own: fail is reachable
+	// from both s.mu and regMu critical sections.
+	errMu sync.Mutex
+	err   error // first unrecoverable disk error
+}
+
+var _ logstore.Backend = (*Store)(nil)
+
+// Open creates or recovers a durable store rooted at dir. Recovery
+// verifies every frame CRC, truncates the torn tail of each topic's
+// active wal, removes wal files already sealed into a segment, deletes
+// segments wholly below the persisted watermark, and rebuilds the sparse
+// indexes and the template registry (snapshot plus delta replay).
+func Open(dir string, opt Options) (*Store, error) {
+	s := &Store{
+		dir:    dir,
+		opt:    opt.withDefaults(),
+		topics: make(map[string]*topic),
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "t"), 0o755); err != nil {
+		return nil, err
+	}
+	if err := s.openRegistry(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "t"))
+	if err != nil {
+		return nil, err
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		name, uerr := url.PathUnescape(ent.Name())
+		if uerr != nil {
+			continue
+		}
+		t, terr := s.recoverTopic(name, filepath.Join(dir, "t", ent.Name()))
+		if terr != nil {
+			s.Close()
+			return nil, terr
+		}
+		s.topics[name] = t
+	}
+	return s, nil
+}
+
+// recoverTopic rebuilds one topic from its directory.
+func (s *Store) recoverTopic(name, dir string) (*topic, error) {
+	t := &topic{name: name, dir: dir, watermark: readWatermark(dir)}
+
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	segSeqs := map[uint64]bool{}
+	var walSeqs []uint64
+	for _, f := range files {
+		base := f.Name()
+		switch {
+		case strings.HasSuffix(base, ".seg"):
+			seq, perr := strconv.ParseUint(strings.TrimSuffix(base, ".seg"), 10, 64)
+			if perr != nil {
+				continue
+			}
+			sf, oerr := openSegment(filepath.Join(dir, base), seq, s.opt.IndexEvery)
+			if oerr != nil {
+				continue // unreadable segment: leave the file, skip it
+			}
+			if sf.maxMs < t.watermark {
+				sf.close()
+				os.Remove(sf.path) // wholly expired while we were down
+				continue
+			}
+			sf.live = sf.count - sf.countBefore(t.watermark)
+			t.segs = append(t.segs, sf)
+			segSeqs[seq] = true
+		case strings.HasSuffix(base, ".wal"):
+			seq, perr := strconv.ParseUint(strings.TrimSuffix(base, ".wal"), 10, 64)
+			if perr != nil {
+				continue
+			}
+			walSeqs = append(walSeqs, seq)
+		case strings.HasSuffix(base, ".tmp"):
+			os.Remove(filepath.Join(dir, base)) // interrupted seal or snapshot
+		}
+	}
+	sort.Slice(t.segs, func(i, j int) bool { return t.segs[i].seq < t.segs[j].seq })
+	for _, sf := range t.segs {
+		if sf.maxMs > t.runningMax {
+			t.runningMax = sf.maxMs
+		}
+		t.haveAppends = true
+	}
+
+	// A wal whose segment exists was sealed but not yet removed (crash
+	// between rename and delete): the segment's copy wins.
+	active := uint64(0)
+	for _, seq := range walSeqs {
+		if segSeqs[seq] || seq < active {
+			os.Remove(filepath.Join(dir, walName(seq)))
+			continue
+		}
+		if active != 0 {
+			os.Remove(filepath.Join(dir, walName(active)))
+		}
+		active = seq
+	}
+	if active == 0 {
+		for seq := range segSeqs {
+			if seq >= active {
+				active = seq + 1
+			}
+		}
+		if active == 0 {
+			active = 1
+		}
+	}
+	t.seq = active
+	return t, s.replayWal(t)
+}
+
+// replayWal loads the active wal's intact frames into the memtable,
+// truncating the torn tail, and leaves the file positioned for appends.
+// A missing wal (fresh topic or crash right after sealing) is created.
+func (s *Store) replayWal(t *topic) error {
+	path := filepath.Join(t.dir, walName(t.seq))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	good := len(walMagic)
+	if len(data) < good || string(data[:good]) != walMagic {
+		// Brand-new or headerless wal: start it over.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := f.WriteAt([]byte(walMagic), 0); err != nil {
+			f.Close()
+			return err
+		}
+		good = len(walMagic)
+	} else {
+		prev := int64(0)
+		off := good
+		for off < len(data) {
+			payload, next, ferr := nextFrame(data, off)
+			if ferr != nil {
+				break // torn tail: truncate from here
+			}
+			rec, derr := decodeRecord(payload, prev)
+			if derr != nil {
+				break
+			}
+			if rec.ArrivalMs >= t.watermark {
+				if n := len(t.mem); n > 0 && rec.ArrivalMs < t.mem[n-1].ArrivalMs {
+					t.dirty = true
+				}
+				t.mem = append(t.mem, rec)
+			}
+			prev = rec.ArrivalMs
+			t.lastAppended = rec.ArrivalMs
+			if !t.haveAppends || rec.ArrivalMs > t.runningMax {
+				t.runningMax = rec.ArrivalMs
+			}
+			t.haveAppends = true
+			off = next
+			good = next
+		}
+		t.prevArrival = prev
+		if good < len(data) {
+			if err := f.Truncate(int64(good)); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if _, err := f.Seek(int64(good), 0); err != nil {
+		f.Close()
+		return err
+	}
+	t.wal = f
+	t.walBytes = int64(good)
+	return nil
+}
+
+// getTopic returns the topic, creating its directory and first wal on
+// demand when create is set.
+func (s *Store) getTopic(name string, create bool) (*topic, error) {
+	if t, ok := s.topics[name]; ok {
+		return t, nil
+	}
+	if !create {
+		return nil, nil
+	}
+	dir := filepath.Join(s.dir, "t", url.PathEscape(name))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	t := &topic{name: name, dir: dir, seq: 1, watermark: math.MinInt64}
+	if err := s.replayWal(t); err != nil {
+		return nil, err
+	}
+	s.topics[name] = t
+	return t, nil
+}
+
+// fail records the first unrecoverable disk error; later operations keep
+// serving from memory but the store is no longer durable past this point.
+func (s *Store) fail(err error) {
+	if err == nil {
+		return
+	}
+	s.errMu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.errMu.Unlock()
+}
+
+// Err returns the first unrecoverable disk error hit by an append or
+// seal, if any. AppendLoose cannot return errors (interface parity with
+// the in-memory store), so callers should check Err before trusting
+// durability.
+func (s *Store) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.err
+}
+
+// TTL returns the configured time-to-live in milliseconds.
+func (s *Store) TTL() int64 { return s.opt.TTLMs }
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Append stores a record under the topic, rejecting records that arrive
+// more than the slack window out of order, with the same observable rule
+// as the in-memory store: the reference point is the most recently
+// appended record while loose appends are pending, and the topic maximum
+// otherwise.
+func (s *Store) Append(topicName string, rec logstore.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return os.ErrClosed
+	}
+	t, err := s.getTopic(topicName, true)
+	if err != nil {
+		s.fail(err)
+		return err
+	}
+	if t.haveAppends {
+		ref := t.runningMax
+		if t.dirty {
+			ref = t.lastAppended
+		}
+		if rec.ArrivalMs < ref && ref-rec.ArrivalMs > s.opt.SlackMs {
+			return logstore.ErrUnsortedAppend
+		}
+	}
+	s.append(t, rec)
+	return s.Err()
+}
+
+// AppendLoose stores a record with no ordering requirement; ordering is
+// restored lazily before the next scan (and eagerly when sealing).
+func (s *Store) AppendLoose(topicName string, rec logstore.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	t, err := s.getTopic(topicName, true)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	s.append(t, rec)
+}
+
+// append writes one record frame to the wal and mirrors it in the
+// memtable, sealing when the active file reaches the segment size.
+// Callers hold s.mu.
+func (s *Store) append(t *topic, rec logstore.Record) {
+	var buf []byte
+	buf = appendFrame(buf, appendRecord(nil, t.prevArrival, rec))
+	if t.wal != nil {
+		if _, err := t.wal.Write(buf); err != nil {
+			s.fail(err)
+		}
+	}
+	t.walBytes += int64(len(buf))
+	t.prevArrival = rec.ArrivalMs
+	if n := len(t.mem); n > 0 && rec.ArrivalMs < t.mem[n-1].ArrivalMs {
+		t.dirty = true
+	}
+	t.mem = append(t.mem, rec)
+	t.lastAppended = rec.ArrivalMs
+	if !t.haveAppends || rec.ArrivalMs > t.runningMax {
+		t.runningMax = rec.ArrivalMs
+	}
+	t.haveAppends = true
+	if len(t.mem) >= s.opt.SegmentRecords || t.walBytes >= s.opt.SegmentBytes {
+		if err := s.seal(t); err != nil {
+			s.fail(err)
+		}
+	}
+}
+
+// ensureSorted lazily restores the memtable's stable arrival order.
+func (t *topic) ensureSorted() {
+	if !t.dirty {
+		return
+	}
+	sort.SliceStable(t.mem, func(i, j int) bool { return t.mem[i].ArrivalMs < t.mem[j].ArrivalMs })
+	t.dirty = false
+}
+
+// seal stable-sorts the memtable into an immutable segment, starts a
+// fresh wal, and removes the sealed one. Callers hold s.mu.
+func (s *Store) seal(t *topic) error {
+	if len(t.mem) == 0 {
+		return nil
+	}
+	t.ensureSorted()
+	sf, err := writeSegment(t.dir, t.seq, t.mem, s.opt.IndexEvery)
+	if err != nil {
+		return err
+	}
+	t.segs = append(t.segs, sf)
+	oldWal := filepath.Join(t.dir, walName(t.seq))
+	if t.wal != nil {
+		t.wal.Close()
+		t.wal = nil
+	}
+	t.seq++
+	t.mem = nil
+	t.dirty = false
+	t.prevArrival = 0
+	if err := s.replayWal(t); err != nil { // creates the fresh, empty wal
+		return err
+	}
+	os.Remove(oldWal)
+	syncDir(t.dir)
+	return nil
+}
+
+// mergeRun is one sorted source feeding a scan: a sealed segment iterator
+// or the memtable.
+type mergeRun struct {
+	cur logstore.Record
+	ok  bool
+	adv func() (logstore.Record, bool)
+}
+
+// scanLocked streams the records of [fromMs, toMs) in arrival order with
+// ingest-order ties, merging the sorted segments (in seal order) with the
+// memtable. Callers hold s.mu.
+func (s *Store) scanLocked(t *topic, fromMs, toMs int64, fn func(logstore.Record) bool) {
+	if t == nil {
+		return
+	}
+	if fromMs < t.watermark {
+		fromMs = t.watermark
+	}
+	if fromMs >= toMs {
+		return
+	}
+	var runs []*mergeRun
+	for _, sf := range t.segs {
+		if sf.live == 0 || sf.maxMs < fromMs || sf.minMs >= toMs {
+			continue
+		}
+		it := sf.iterFrom(fromMs)
+		runs = append(runs, &mergeRun{adv: it.next})
+	}
+	t.ensureSorted()
+	lo := sort.Search(len(t.mem), func(i int) bool { return t.mem[i].ArrivalMs >= fromMs })
+	if lo < len(t.mem) && t.mem[lo].ArrivalMs < toMs {
+		i := lo
+		runs = append(runs, &mergeRun{adv: func() (logstore.Record, bool) {
+			if i >= len(t.mem) {
+				return logstore.Record{}, false
+			}
+			rec := t.mem[i]
+			i++
+			return rec, true
+		}})
+	}
+	// Prime each run past records below fromMs (segment iterators start
+	// at the sparse-index point before the range).
+	live := 0
+	for _, r := range runs {
+		for {
+			r.cur, r.ok = r.adv()
+			if !r.ok || r.cur.ArrivalMs >= fromMs {
+				break
+			}
+		}
+		if r.ok && r.cur.ArrivalMs >= toMs {
+			r.ok = false
+		}
+		if r.ok {
+			live++
+		}
+	}
+	// K-way merge; ties resolve to the earliest run (segments in seal
+	// order before the memtable), which reproduces a global stable sort
+	// by arrival over the ingest sequence.
+	for live > 0 {
+		var best *mergeRun
+		for _, r := range runs {
+			if r.ok && (best == nil || r.cur.ArrivalMs < best.cur.ArrivalMs) {
+				best = r
+			}
+		}
+		if !fn(best.cur) {
+			return
+		}
+		best.cur, best.ok = best.adv()
+		if best.ok && best.cur.ArrivalMs >= toMs {
+			best.ok = false
+		}
+		if !best.ok {
+			live--
+		}
+	}
+}
+
+// ScanFunc streams the records of [fromMs, toMs) in the same order as the
+// in-memory store, without materializing a slice. The callback runs under
+// the store lock: it must not call back into the store.
+func (s *Store) ScanFunc(topicName string, fromMs, toMs int64, fn func(logstore.Record) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, _ := s.getTopic(topicName, false)
+	s.scanLocked(t, fromMs, toMs, fn)
+}
+
+// Scan returns a copy of the records in [fromMs, toMs), sorted by arrival
+// with ingest-order ties — byte-identical to the in-memory store's result
+// for the same ingest sequence.
+func (s *Store) Scan(topicName string, fromMs, toMs int64) []logstore.Record {
+	var out []logstore.Record
+	s.ScanFunc(topicName, fromMs, toMs, func(rec logstore.Record) bool {
+		out = append(out, rec)
+		return true
+	})
+	if out == nil {
+		out = []logstore.Record{}
+	}
+	return out
+}
+
+// Len returns the number of live records in a topic.
+func (s *Store) Len(topicName string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, _ := s.getTopic(topicName, false)
+	if t == nil {
+		return 0
+	}
+	n := len(t.mem)
+	for _, sf := range t.segs {
+		n += sf.live
+	}
+	return n
+}
+
+// Topics returns the sorted names of topics with at least one live record.
+func (s *Store) Topics() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.topics))
+	for name, t := range s.topics {
+		n := len(t.mem)
+		for _, sf := range t.segs {
+			n += sf.live
+		}
+		if n > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Bounds returns the minimum and maximum live ArrivalMs of a topic.
+func (s *Store) Bounds(topicName string) (minMs, maxMs int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, _ := s.getTopic(topicName, false)
+	if t == nil {
+		return 0, 0, false
+	}
+	s.scanLocked(t, t.watermark, 1<<62, func(rec logstore.Record) bool {
+		minMs, ok = rec.ArrivalMs, true
+		return false
+	})
+	if !ok {
+		return 0, 0, false
+	}
+	for _, sf := range t.segs {
+		if sf.live > 0 && sf.maxMs > maxMs {
+			maxMs = sf.maxMs
+		}
+	}
+	t.ensureSorted()
+	if n := len(t.mem); n > 0 && t.mem[n-1].ArrivalMs > maxMs {
+		maxMs = t.mem[n-1].ArrivalMs
+	}
+	return minMs, maxMs, true
+}
+
+// Expire drops every record with ArrivalMs < nowMs − TTL and returns the
+// number removed. Wholly expired segments are deleted in O(1) each;
+// partially expired segments are masked by the watermark, which is
+// persisted so the mask survives restarts.
+func (s *Store) Expire(nowMs int64) int {
+	cutoff := nowMs - s.opt.TTLMs
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	for _, t := range s.topics {
+		if cutoff <= t.watermark {
+			continue
+		}
+		keep := t.segs[:0]
+		for _, sf := range t.segs {
+			switch {
+			case sf.maxMs < cutoff:
+				removed += sf.live
+				sf.close()
+				os.Remove(sf.path)
+			case sf.minMs < cutoff:
+				wasDead := sf.countBefore(t.watermark)
+				nowDead := sf.countBefore(cutoff)
+				removed += nowDead - wasDead
+				sf.live = sf.count - nowDead
+				keep = append(keep, sf)
+			default:
+				keep = append(keep, sf)
+			}
+		}
+		t.segs = keep
+		t.ensureSorted()
+		lo := sort.Search(len(t.mem), func(i int) bool { return t.mem[i].ArrivalMs >= cutoff })
+		if lo > 0 {
+			removed += lo
+			t.mem = t.mem[lo:]
+		}
+		t.watermark = cutoff
+		if err := writeWatermark(t.dir, cutoff); err != nil {
+			s.fail(err)
+		}
+	}
+	return removed
+}
+
+// Seal forces the active wal of every topic into a sealed segment; mainly
+// for tests and benchmarks exercising the sealed-scan path.
+func (s *Store) Seal() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.topics {
+		if err := s.seal(t); err != nil {
+			s.fail(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// Close snapshots the registry, syncs and closes every file, and marks
+// the store unusable. It returns the first error encountered, including
+// any sticky append error.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.Err()
+	}
+	s.closed = true
+	s.regMu.Lock()
+	s.regClosed = true
+	if err := s.snapshotRegistryLocked(); err != nil {
+		s.fail(err)
+	}
+	if s.regDelta != nil {
+		s.regDelta.Close()
+		s.regDelta = nil
+	}
+	s.regMu.Unlock()
+	for _, t := range s.topics {
+		if t.wal != nil {
+			if err := t.wal.Sync(); err != nil {
+				s.fail(err)
+			}
+			t.wal.Close()
+			t.wal = nil
+		}
+		for _, sf := range t.segs {
+			sf.close()
+		}
+	}
+	return s.Err()
+}
+
+// readWatermark loads a topic's persisted expiry cutoff. Absent or
+// unreadable files yield math.MinInt64 — nothing is masked, arrival times
+// may legitimately be negative, and the records simply wait for the next
+// Expire.
+func readWatermark(dir string) int64 {
+	data, err := os.ReadFile(filepath.Join(dir, "watermark"))
+	if err != nil {
+		return math.MinInt64
+	}
+	payload, _, err := nextFrame(data, 0)
+	if err != nil {
+		return math.MinInt64
+	}
+	wm, n := binary.Varint(payload)
+	if n <= 0 {
+		return math.MinInt64
+	}
+	return wm
+}
+
+// writeWatermark atomically persists a topic's expiry cutoff.
+func writeWatermark(dir string, wm int64) error {
+	buf := appendFrame(nil, binary.AppendVarint(nil, wm))
+	tmp := filepath.Join(dir, "watermark.tmp")
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "watermark"))
+}
+
+// syncDir best-effort fsyncs a directory after a rename or remove so the
+// metadata change is durable.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -124,6 +124,36 @@ func (s *Store) Scan(topic string, fromMs, toMs int64) []Record {
 	return out
 }
 
+// ScanFunc streams the records of Scan's range in the same order without
+// materializing a copy, calling fn for each record until it returns false.
+// The callback runs under the store lock: it must be quick and must not
+// call back into the store.
+func (s *Store) ScanFunc(topic string, fromMs, toMs int64, fn func(Record) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSorted(topic)
+	recs := s.topics[topic]
+	lo := sort.Search(len(recs), func(i int) bool { return recs[i].ArrivalMs >= fromMs })
+	for i := lo; i < len(recs) && recs[i].ArrivalMs < toMs; i++ {
+		if !fn(recs[i]) {
+			return
+		}
+	}
+}
+
+// Bounds returns the minimum and maximum ArrivalMs in a topic; ok is false
+// when the topic is empty or unknown.
+func (s *Store) Bounds(topic string) (minMs, maxMs int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSorted(topic)
+	recs := s.topics[topic]
+	if len(recs) == 0 {
+		return 0, 0, false
+	}
+	return recs[0].ArrivalMs, recs[len(recs)-1].ArrivalMs, true
+}
+
 // Len returns the number of live records in a topic.
 func (s *Store) Len(topic string) int {
 	s.mu.RLock()
@@ -153,10 +183,12 @@ func (s *Store) Expire(nowMs int64) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	removed := 0
+	// Single pass: ensureSorted is a no-op for topics without pending
+	// loose appends, and sorting happens in place, so the lazily sorted
+	// slice can be compacted in the same iteration.
 	for topic := range s.topics {
 		s.ensureSorted(topic)
-	}
-	for topic, recs := range s.topics {
+		recs := s.topics[topic]
 		lo := sort.Search(len(recs), func(i int) bool { return recs[i].ArrivalMs >= cutoff })
 		if lo == 0 {
 			continue
@@ -172,3 +204,7 @@ func (s *Store) Expire(nowMs int64) int {
 	}
 	return removed
 }
+
+// Close satisfies Backend; the in-memory store holds no external
+// resources.
+func (s *Store) Close() error { return nil }

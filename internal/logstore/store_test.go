@@ -210,3 +210,82 @@ func TestExpireProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestScanFuncStreamsWindow(t *testing.T) {
+	s := New(0)
+	for i := 0; i < 20; i++ {
+		s.AppendLoose("t", Record{TemplateIdx: int32(i), ArrivalMs: int64((i * 13) % 100)})
+	}
+	want := s.Scan("t", 20, 80)
+	var got []Record
+	s.ScanFunc("t", 20, 80, func(r Record) bool {
+		got = append(got, r)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("ScanFunc streamed %d records, Scan returned %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	// Early stop terminates the stream.
+	seen := 0
+	s.ScanFunc("t", 0, 1<<62, func(Record) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Errorf("early stop saw %d records, want 3", seen)
+	}
+	// Missing topics stream nothing.
+	s.ScanFunc("nope", 0, 1<<62, func(Record) bool {
+		t.Error("callback invoked for a missing topic")
+		return false
+	})
+}
+
+func TestBounds(t *testing.T) {
+	s := New(0)
+	if _, _, ok := s.Bounds("t"); ok {
+		t.Error("Bounds ok for an empty store")
+	}
+	s.AppendLoose("t", Record{ArrivalMs: 700})
+	s.AppendLoose("t", Record{ArrivalMs: -50})
+	s.AppendLoose("t", Record{ArrivalMs: 300})
+	min, max, ok := s.Bounds("t")
+	if !ok || min != -50 || max != 700 {
+		t.Errorf("Bounds = %d, %d, %v, want -50, 700, true", min, max, ok)
+	}
+}
+
+func TestCloseIsNoop(t *testing.T) {
+	s := New(0)
+	s.Append("t", Record{ArrivalMs: 1})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len("t"); got != 1 {
+		t.Errorf("Len after Close = %d", got)
+	}
+}
+
+// TestExpireSkipsCleanTopics pins the single-pass Expire: a topic whose
+// records all survive must keep its backing slice (no copy, no re-sort).
+func TestExpireSkipsCleanTopics(t *testing.T) {
+	s := New(1000)
+	for i := 0; i < 5; i++ {
+		s.Append("fresh", Record{ArrivalMs: int64(10_000 + i)})
+		s.Append("stale", Record{ArrivalMs: int64(i)})
+	}
+	if removed := s.Expire(11_000); removed != 5 {
+		t.Fatalf("removed = %d, want 5", removed)
+	}
+	if got := s.Len("fresh"); got != 5 {
+		t.Errorf("fresh Len = %d", got)
+	}
+	if got := s.Len("stale"); got != 0 {
+		t.Errorf("stale Len = %d", got)
+	}
+}
