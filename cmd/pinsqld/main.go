@@ -49,16 +49,17 @@ func main() {
 		autoRepair = flag.Bool("auto-repair", false, "execute suggested repairing actions")
 		workers    = flag.Int("workers", 0, "diagnosis worker pool (0 = GOMAXPROCS, 1 = sequential)")
 		dataDir    = flag.String("data-dir", "", "directory for the durable log store (empty = in-memory)")
+		syncEvery  = flag.Int("sync-every", 0, "fsync the log-store wal every N records (0 = only at seal/close; process-crash safe either way)")
 	)
 	flag.Parse()
 
-	if err := run(*windows, *windowSec, *seed, *autoRepair, *workers, *dataDir); err != nil {
+	if err := run(*windows, *windowSec, *seed, *autoRepair, *workers, *dataDir, *syncEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "pinsqld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(windows, windowSec int, seed int64, autoRepair bool, workers int, dataDir string) error {
+func run(windows, windowSec int, seed int64, autoRepair bool, workers int, dataDir string, syncEvery int) error {
 	world := workload.DefaultWorld(seed)
 	world.AddFillerServices(3, 6)
 	cfg := dbsim.DefaultConfig()
@@ -78,7 +79,7 @@ func run(windows, windowSec int, seed int64, autoRepair bool, workers int, dataD
 		registry = collect.NewRegistry()
 		store = logstore.New(0)
 	} else {
-		seg, err := segment.Open(dataDir, segment.Options{})
+		seg, err := segment.Open(dataDir, segment.Options{SyncEvery: syncEvery})
 		if err != nil {
 			return err
 		}

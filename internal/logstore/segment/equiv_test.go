@@ -23,6 +23,10 @@ func TestBackendEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	topics := []string{"alpha", "beta", "gamma"}
 	clock := make(map[string]int64)
+	used := map[string]map[int64]bool{}
+	for _, topic := range topics {
+		used[topic] = map[int64]bool{}
+	}
 
 	ingest := func(n int) {
 		for i := 0; i < n; i++ {
@@ -34,16 +38,42 @@ func TestBackendEquivalence(t *testing.T) {
 				ResponseMs:   rng.Float64() * 1000,
 				ExaminedRows: int64(rng.Intn(10_000)),
 			}
-			if rng.Intn(3) == 0 {
+			switch draw := rng.Intn(6); {
+			case draw == 0:
 				// Loose append with an arbitrarily late completion.
 				rec.ArrivalMs -= int64(rng.Intn(30_000))
 				mem.AppendLoose(topic, rec)
 				seg.AppendLoose(topic, rec)
-			} else {
+				used[topic][rec.ArrivalMs] = true
+			case draw == 1:
+				// Out-of-order strict append, in or just beyond the slack
+				// window, so acceptance depends on the slack reference both
+				// backends must agree on. Its arrival is kept distinct from
+				// every record already in the topic: when the in-memory
+				// store has loose appends pending, it insertion-sorts into
+				// an unsorted slice, and the position it lands at among
+				// equal arrivals is a binary-search artifact no other
+				// backend can reproduce.
+				rec.ArrivalMs -= int64(1 + rng.Intn(6000))
+				for used[topic][rec.ArrivalMs] {
+					rec.ArrivalMs--
+				}
+				errMem := mem.Append(topic, rec)
+				errSeg := seg.Append(topic, rec)
+				if (errMem == nil) != (errSeg == nil) {
+					t.Fatalf("out-of-order append divergence for %+v: mem=%v seg=%v", rec, errMem, errSeg)
+				}
+				if errMem == nil {
+					used[topic][rec.ArrivalMs] = true
+				}
+			default:
 				errMem := mem.Append(topic, rec)
 				errSeg := seg.Append(topic, rec)
 				if (errMem == nil) != (errSeg == nil) {
 					t.Fatalf("append divergence for %+v: mem=%v seg=%v", rec, errMem, errSeg)
+				}
+				if errMem == nil {
+					used[topic][rec.ArrivalMs] = true
 				}
 			}
 		}
@@ -118,6 +148,80 @@ func TestBackendEquivalence(t *testing.T) {
 		t.Fatalf("post-reopen Expire removed mem %d, seg %d", r1, r2)
 	}
 	check("expire after reopen")
+}
+
+// TestStrictAppendSlackParity pins accept/reject parity of the strict
+// Append path on directed sequences. The key regression: an in-slack
+// out-of-order append must not shift the slack reference off the topic
+// maximum — for {1000, 998, -4001} the third record is 5001 ms behind
+// the maximum and both backends must reject it (the in-memory store
+// insertion-sorts 998 back into place, so its reference stays 1000).
+func TestStrictAppendSlackParity(t *testing.T) {
+	sequences := [][]int64{
+		{1000, 998, -4001},
+		{1000, 998, 999, -4001},
+		{1000, 998, -4000}, // exactly at the slack boundary: accepted
+		{1000, 9000, 3000, 5000, 4000, 6000},
+		{1000, 998, 996, 994, -4001, -3999},
+		{5000, 0, 10_000, 5000, 4999},
+	}
+	for si, seq := range sequences {
+		mem := logstore.New(0)
+		seg := mustOpen(t, t.TempDir(), Options{})
+		for i, ms := range seq {
+			r := logstore.Record{TemplateIdx: int32(i), ArrivalMs: ms}
+			errMem := mem.Append("t", r)
+			errSeg := seg.Append("t", r)
+			if (errMem == nil) != (errSeg == nil) {
+				t.Errorf("seq %d, append %d (arrival %d): mem=%v seg=%v", si, i, ms, errMem, errSeg)
+			}
+		}
+		if got, want := seg.Scan("t", -1<<60, 1<<60), mem.Scan("t", -1<<60, 1<<60); !reflect.DeepEqual(got, want) {
+			t.Errorf("seq %d: scan diverged:\n seg %v\n mem %v", si, got, want)
+		}
+		seg.Close()
+	}
+}
+
+// TestSlackReferenceAcrossStates walks the reference through every state
+// transition the in-memory store exposes — loose appends move it to the
+// last appended record, a scan resorts it to the topic maximum, and full
+// expiry resets the topic — asserting parity at each step.
+func TestSlackReferenceAcrossStates(t *testing.T) {
+	mem := logstore.New(0)
+	seg := mustOpen(t, t.TempDir(), Options{})
+	defer seg.Close()
+	parity := func(stage string, ms int64) {
+		t.Helper()
+		r := logstore.Record{ArrivalMs: ms}
+		errMem := mem.Append("t", r)
+		errSeg := seg.Append("t", r)
+		if (errMem == nil) != (errSeg == nil) {
+			t.Fatalf("%s (arrival %d): mem=%v seg=%v", stage, ms, errMem, errSeg)
+		}
+	}
+
+	parity("first", 10_000)
+	loose := logstore.Record{ArrivalMs: 400}
+	mem.AppendLoose("t", loose)
+	seg.AppendLoose("t", loose)
+	// Reference is now the loose record: 4800 ms behind it is in slack
+	// even though it is 14400 ms behind the topic maximum.
+	parity("behind pending loose", -4400)
+	// A scan resorts both stores; the reference snaps back to the max.
+	if got, want := seg.Scan("t", -1<<60, 1<<60), mem.Scan("t", -1<<60, 1<<60); !reflect.DeepEqual(got, want) {
+		t.Fatalf("scan diverged:\n seg %v\n mem %v", got, want)
+	}
+	parity("behind max after sort", 4999) // 5001 behind 10000: rejected
+	parity("at slack after sort", 5000)   // exactly 5000 behind: accepted
+
+	// Full expiry empties the topic in both backends; arbitrarily old
+	// arrivals are acceptable again.
+	now := 100_000 + int64(logstore.DefaultTTLMs)
+	if r1, r2 := mem.Expire(now), seg.Expire(now); r1 != r2 {
+		t.Fatalf("Expire removed mem %d, seg %d", r1, r2)
+	}
+	parity("after full expiry", 123)
 }
 
 // TestBackendEquivalenceSeeds runs a compact version of the equivalence

@@ -66,10 +66,27 @@ func (s *Store) openRegistry() error {
 		}
 	} else {
 		entries, clean, _ := decodeRegistryFrames(data)
+		// A crash between the snapshot rename and the delta truncate in
+		// snapshotRegistryLocked leaves the snapshot's entries duplicated
+		// at the head of the delta: verify that prefix against the
+		// snapshot and skip it, so replay is idempotent.
+		covered := 0
+		for covered < len(entries) && int(entries[covered].Index) < len(s.regEntries) {
+			if entries[covered] != s.regEntries[entries[covered].Index] {
+				f.Close()
+				return fmt.Errorf("segment: registry delta entry %d disagrees with snapshot", entries[covered].Index)
+			}
+			covered++
+		}
 		// The delta's torn tail (a crash mid-append) is dropped; every
 		// intact entry before it survives.
-		s.regEntries = append(s.regEntries, entries...)
+		s.regEntries = append(s.regEntries, entries[covered:]...)
 		good = clean
+		if covered == len(entries) && covered > 0 {
+			// The snapshot covers the whole delta: complete the
+			// interrupted truncate.
+			good = len(regMagic)
+		}
 		if good < len(data) {
 			if err := f.Truncate(int64(good)); err != nil {
 				f.Close()
@@ -147,6 +164,15 @@ func (s *Store) AppendRegistry(e RegistryEntry) error {
 			s.fail(err)
 			return err
 		}
+		// Records referencing this template must never outlive it: under a
+		// periodic-fsync policy the registry syncs eagerly (interning is
+		// rare after warm-up).
+		if s.opt.SyncEvery > 0 {
+			if err := s.regDelta.Sync(); err != nil {
+				s.fail(err)
+				return err
+			}
+		}
 	}
 	s.regEntries = append(s.regEntries, e)
 	return nil
@@ -168,8 +194,27 @@ func (s *Store) snapshotRegistryLocked() error {
 		payload = appendRegistryEntry(payload[:0], e)
 		buf = appendFrame(buf, payload)
 	}
+	// The snapshot is fsynced before the rename, and the delta truncated
+	// only after it: a crash at any point leaves either the old
+	// snapshot + full delta or the new snapshot + a delta whose entries
+	// it covers — both states openRegistry recovers from.
 	tmp := s.snapPath() + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, s.snapPath()); err != nil {

@@ -31,6 +31,13 @@ type Options struct {
 	// SlackMs is the reordering tolerance of the strict Append path
 	// (default 5000, matching the in-memory store).
 	SlackMs int64
+	// SyncEvery fsyncs a topic's active wal after every SyncEvery
+	// appended records (and the registry delta after every interned
+	// template), bounding how much a power failure or OS crash can lose.
+	// 0 (the default) syncs only at seal and Close: every append is still
+	// safe against a *process* crash — frames reach the OS page cache
+	// before Append returns — but not against losing the machine.
+	SyncEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -66,10 +73,16 @@ type topic struct {
 	mem   []logstore.Record // mirror of the live wal records
 	dirty bool              // mem needs a lazy stable sort
 
-	prevArrival  int64 // delta base of the next wal frame
-	lastAppended int64 // arrival of the most recently appended record
-	runningMax   int64 // max arrival ever appended
-	haveAppends  bool
+	prevArrival int64 // delta base of the next wal frame
+	sinceSync   int   // wal records appended since the last fsync
+
+	// refLast mirrors what the in-memory store's recs[len-1].ArrivalMs
+	// would be for the same call sequence — the reference point of the
+	// strict Append slack check. refValid is false when the in-memory
+	// topic would be empty (never appended, or deleted by Expire), a
+	// state that accepts any arrival.
+	refLast  int64
+	refValid bool
 
 	watermark int64 // records with ArrivalMs < watermark are expired
 }
@@ -195,12 +208,6 @@ func (s *Store) recoverTopic(name, dir string) (*topic, error) {
 		}
 	}
 	sort.Slice(t.segs, func(i, j int) bool { return t.segs[i].seq < t.segs[j].seq })
-	for _, sf := range t.segs {
-		if sf.maxMs > t.runningMax {
-			t.runningMax = sf.maxMs
-		}
-		t.haveAppends = true
-	}
 
 	// A wal whose segment exists was sealed but not yet removed (crash
 	// between rename and delete): the segment's copy wins.
@@ -226,7 +233,11 @@ func (s *Store) recoverTopic(name, dir string) (*topic, error) {
 		}
 	}
 	t.seq = active
-	return t, s.replayWal(t)
+	if err := s.replayWal(t); err != nil {
+		return nil, err
+	}
+	t.syncRef() // a fresh open starts from the sorted state
+	return t, nil
 }
 
 // replayWal loads the active wal's intact frames into the memtable,
@@ -274,11 +285,6 @@ func (s *Store) replayWal(t *topic) error {
 				t.mem = append(t.mem, rec)
 			}
 			prev = rec.ArrivalMs
-			t.lastAppended = rec.ArrivalMs
-			if !t.haveAppends || rec.ArrivalMs > t.runningMax {
-				t.runningMax = rec.ArrivalMs
-			}
-			t.haveAppends = true
 			off = next
 			good = next
 		}
@@ -296,6 +302,7 @@ func (s *Store) replayWal(t *topic) error {
 	}
 	t.wal = f
 	t.walBytes = int64(good)
+	t.sinceSync = 0
 	return nil
 }
 
@@ -334,9 +341,10 @@ func (s *Store) fail(err error) {
 }
 
 // Err returns the first unrecoverable disk error hit by an append or
-// seal, if any. AppendLoose cannot return errors (interface parity with
-// the in-memory store), so callers should check Err before trusting
-// durability.
+// seal, if any. Append and AppendLoose keep accepting records into the
+// memtable past such an error (an Append error strictly means the record
+// was rejected, e.g. for ordering), so callers should check Err before
+// trusting durability.
 func (s *Store) Err() error {
 	s.errMu.Lock()
 	defer s.errMu.Unlock()
@@ -351,9 +359,11 @@ func (s *Store) Dir() string { return s.dir }
 
 // Append stores a record under the topic, rejecting records that arrive
 // more than the slack window out of order, with the same observable rule
-// as the in-memory store: the reference point is the most recently
-// appended record while loose appends are pending, and the topic maximum
-// otherwise.
+// as the in-memory store: the reference point is what that store's last
+// slice element would be — the topic maximum while the topic is sorted,
+// the most recently appended record while loose appends are pending. A
+// nil return means the record was accepted; disk errors degrade
+// durability without failing the append and are reported via Err.
 func (s *Store) Append(topicName string, rec logstore.Record) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -365,17 +375,11 @@ func (s *Store) Append(topicName string, rec logstore.Record) error {
 		s.fail(err)
 		return err
 	}
-	if t.haveAppends {
-		ref := t.runningMax
-		if t.dirty {
-			ref = t.lastAppended
-		}
-		if rec.ArrivalMs < ref && ref-rec.ArrivalMs > s.opt.SlackMs {
-			return logstore.ErrUnsortedAppend
-		}
+	if t.refValid && rec.ArrivalMs < t.refLast && t.refLast-rec.ArrivalMs > s.opt.SlackMs {
+		return logstore.ErrUnsortedAppend
 	}
-	s.append(t, rec)
-	return s.Err()
+	s.append(t, rec, false)
+	return nil
 }
 
 // AppendLoose stores a record with no ordering requirement; ordering is
@@ -391,18 +395,23 @@ func (s *Store) AppendLoose(topicName string, rec logstore.Record) {
 		s.fail(err)
 		return
 	}
-	s.append(t, rec)
+	s.append(t, rec, true)
 }
 
 // append writes one record frame to the wal and mirrors it in the
 // memtable, sealing when the active file reaches the segment size.
 // Callers hold s.mu.
-func (s *Store) append(t *topic, rec logstore.Record) {
+func (s *Store) append(t *topic, rec logstore.Record, loose bool) {
 	var buf []byte
 	buf = appendFrame(buf, appendRecord(nil, t.prevArrival, rec))
 	if t.wal != nil {
 		if _, err := t.wal.Write(buf); err != nil {
 			s.fail(err)
+		} else if t.sinceSync++; s.opt.SyncEvery > 0 && t.sinceSync >= s.opt.SyncEvery {
+			if err := t.wal.Sync(); err != nil {
+				s.fail(err)
+			}
+			t.sinceSync = 0
 		}
 	}
 	t.walBytes += int64(len(buf))
@@ -411,11 +420,13 @@ func (s *Store) append(t *topic, rec logstore.Record) {
 		t.dirty = true
 	}
 	t.mem = append(t.mem, rec)
-	t.lastAppended = rec.ArrivalMs
-	if !t.haveAppends || rec.ArrivalMs > t.runningMax {
-		t.runningMax = rec.ArrivalMs
+	// Mirror the in-memory store's last slice element: a loose append
+	// always lands at the end; a strict append lands at the end only when
+	// it is not insertion-sorted below the current last element.
+	if loose || !t.refValid || rec.ArrivalMs >= t.refLast {
+		t.refLast = rec.ArrivalMs
 	}
-	t.haveAppends = true
+	t.refValid = true
 	if len(t.mem) >= s.opt.SegmentRecords || t.walBytes >= s.opt.SegmentBytes {
 		if err := s.seal(t); err != nil {
 			s.fail(err)
@@ -430,6 +441,29 @@ func (t *topic) ensureSorted() {
 	}
 	sort.SliceStable(t.mem, func(i, j int) bool { return t.mem[i].ArrivalMs < t.mem[j].ArrivalMs })
 	t.dirty = false
+}
+
+// syncRef realigns the slack reference with the in-memory store's state
+// after its ensureSorted ran for the topic: the last slice element
+// becomes the live maximum, and a topic whose records have all expired
+// behaves as empty (the in-memory Expire deletes such topics). Must be
+// called exactly where the in-memory store sorts — Scan, ScanFunc,
+// Bounds, and Expire — so the two backends keep accepting and rejecting
+// the same strict appends.
+func (t *topic) syncRef() {
+	t.ensureSorted()
+	t.refValid = false
+	t.refLast = 0
+	for _, sf := range t.segs {
+		if sf.live > 0 && (!t.refValid || sf.maxMs > t.refLast) {
+			t.refLast, t.refValid = sf.maxMs, true
+		}
+	}
+	if n := len(t.mem); n > 0 {
+		if last := t.mem[n-1].ArrivalMs; !t.refValid || last > t.refLast {
+			t.refLast, t.refValid = last, true
+		}
+	}
 }
 
 // seal stable-sorts the memtable into an immutable segment, starts a
@@ -550,6 +584,9 @@ func (s *Store) ScanFunc(topicName string, fromMs, toMs int64, fn func(logstore.
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	t, _ := s.getTopic(topicName, false)
+	if t != nil {
+		t.syncRef() // the in-memory store sorts here
+	}
 	s.scanLocked(t, fromMs, toMs, fn)
 }
 
@@ -609,6 +646,7 @@ func (s *Store) Bounds(topicName string) (minMs, maxMs int64, ok bool) {
 	if t == nil {
 		return 0, 0, false
 	}
+	t.syncRef() // the in-memory store sorts here
 	s.scanLocked(t, t.watermark, 1<<62, func(rec logstore.Record) bool {
 		minMs, ok = rec.ArrivalMs, true
 		return false
@@ -638,37 +676,39 @@ func (s *Store) Expire(nowMs int64) int {
 	defer s.mu.Unlock()
 	removed := 0
 	for _, t := range s.topics {
-		if cutoff <= t.watermark {
-			continue
-		}
-		keep := t.segs[:0]
-		for _, sf := range t.segs {
-			switch {
-			case sf.maxMs < cutoff:
-				removed += sf.live
-				sf.close()
-				os.Remove(sf.path)
-			case sf.minMs < cutoff:
-				wasDead := sf.countBefore(t.watermark)
-				nowDead := sf.countBefore(cutoff)
-				removed += nowDead - wasDead
-				sf.live = sf.count - nowDead
-				keep = append(keep, sf)
-			default:
-				keep = append(keep, sf)
+		if cutoff > t.watermark {
+			keep := t.segs[:0]
+			for _, sf := range t.segs {
+				switch {
+				case sf.maxMs < cutoff:
+					removed += sf.live
+					sf.close()
+					os.Remove(sf.path)
+				case sf.minMs < cutoff:
+					wasDead := sf.countBefore(t.watermark)
+					nowDead := sf.countBefore(cutoff)
+					removed += nowDead - wasDead
+					sf.live = sf.count - nowDead
+					keep = append(keep, sf)
+				default:
+					keep = append(keep, sf)
+				}
+			}
+			t.segs = keep
+			t.ensureSorted()
+			lo := sort.Search(len(t.mem), func(i int) bool { return t.mem[i].ArrivalMs >= cutoff })
+			if lo > 0 {
+				removed += lo
+				t.mem = t.mem[lo:]
+			}
+			t.watermark = cutoff
+			if err := writeWatermark(t.dir, cutoff); err != nil {
+				s.fail(err)
 			}
 		}
-		t.segs = keep
-		t.ensureSorted()
-		lo := sort.Search(len(t.mem), func(i int) bool { return t.mem[i].ArrivalMs >= cutoff })
-		if lo > 0 {
-			removed += lo
-			t.mem = t.mem[lo:]
-		}
-		t.watermark = cutoff
-		if err := writeWatermark(t.dir, cutoff); err != nil {
-			s.fail(err)
-		}
+		// The in-memory store sorts every topic on Expire, even when
+		// nothing is removed, so the slack reference resets regardless.
+		t.syncRef()
 	}
 	return removed
 }
