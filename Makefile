@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz-smoke bench-parallel bench-logstore clean
+.PHONY: all build test race vet fuzz-smoke bench-parallel bench-logstore bench-gen clean
 
 all: build vet test
 
@@ -18,7 +18,7 @@ test:
 # suite (internal/collect/broker_race_test.go) and the Workers-equivalence
 # property tests.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +42,13 @@ bench-parallel:
 # and disk footprint (with a cross-backend scan-equivalence check).
 bench-logstore:
 	$(GO) test -run=^$$ -bench=BenchmarkLogStoreBackends -benchtime=3x .
+
+# Generation/collection fast path: parallel case generation vs sequential
+# (exits non-zero if the parallel corpus is not byte-identical), dbsim
+# event-loop allocs/event, and the intern-cache hit rate. Writes
+# BENCH_gen.json.
+bench-gen:
+	$(GO) run ./cmd/pinsql-bench -exp gen -small -seed 3
 
 clean:
 	$(GO) clean ./...

@@ -108,7 +108,7 @@ func BenchmarkFig8_RepairCase(b *testing.B) {
 // optimizing R-SQLs versus slow SQLs.
 func BenchmarkTableII_OptimizationGain(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunTableII(13, 4)
+		res, err := bench.RunTableII(13, 4, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

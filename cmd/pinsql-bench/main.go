@@ -8,12 +8,17 @@
 //	pinsql-bench -exp table1 -cases 40    # Table I with a 40-case corpus
 //	pinsql-bench -exp fig7                # scalability sweep
 //	pinsql-bench -exp sweep -param tau    # hyperparameter sensitivity
+//	pinsql-bench -exp gen                 # generation/collection fast path
+//	pinsql-bench -exp fig7 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pinsql/internal/bench"
@@ -21,32 +26,73 @@ import (
 )
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain carries the exit code back to main so deferred profile writers
+// run before the process exits (os.Exit skips defers).
+func realMain() (code int) {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|logstore|all")
-		n       = flag.Int("cases", 24, "corpus size for table1/fig6/families")
-		seed    = flag.Int64("seed", 1, "corpus seed")
-		param   = flag.String("param", "ks", "sweep parameter: ks|tau|buckets")
-		small   = flag.Bool("small", false, "use reduced trace lengths (faster, noisier)")
-		workers = flag.Int("workers", 0, "diagnosis worker pool for fig7's parallel curve (0 = GOMAXPROCS, 1 = sequential)")
+		exp        = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|logstore|gen|all")
+		n          = flag.Int("cases", 24, "corpus size for table1/fig6/families")
+		seed       = flag.Int64("seed", 1, "corpus seed")
+		param      = flag.String("param", "ks", "sweep parameter: ks|tau|buckets")
+		small      = flag.Bool("small", false, "use reduced trace lengths (faster, noisier)")
+		workers    = flag.Int("workers", 0, "worker pool for case generation and fig7's parallel curve (0 = GOMAXPROCS, 1 = sequential)")
+		genOut     = flag.String("gen-out", "BENCH_gen.json", "output file for the -exp gen report (empty = stdout only)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
-	corpus := func(count int) cases.Options {
-		if *small {
-			return bench.SmallCorpus(*seed, count)
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pinsql-bench: cpuprofile: %v\n", err)
+			return 1
 		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pinsql-bench: cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pinsql-bench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "pinsql-bench: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	corpus := func(count int) cases.Options {
 		opt := cases.DefaultOptions()
-		opt.Seed = *seed
-		opt.Count = count
+		if *small {
+			opt = bench.SmallCorpus(*seed, count)
+		} else {
+			opt.Seed = *seed
+			opt.Count = count
+		}
+		opt.Workers = *workers
 		return opt
 	}
 
+	failed := false
 	run := func(name string, fn func() (fmt.Stringer, error)) {
 		start := time.Now()
 		res, err := fn()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "pinsql-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			failed = true
+			return
 		}
 		fmt.Println(res)
 		fmt.Printf("[%s completed in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
@@ -66,7 +112,7 @@ func main() {
 			run("fig8", func() (fmt.Stringer, error) { return wrap(bench.RunFig8(*seed)) })
 		},
 		"table2": func() {
-			run("table2", func() (fmt.Stringer, error) { return wrap(bench.RunTableII(*seed, *n/2)) })
+			run("table2", func() (fmt.Stringer, error) { return wrap(bench.RunTableII(*seed, *n/2, *workers)) })
 		},
 		"table3": func() {
 			run("table3", func() (fmt.Stringer, error) { return wrap(bench.RunTableIII(*seed, 10)) })
@@ -97,20 +143,43 @@ func main() {
 				return wrap(bench.RunLogStoreBench(opt))
 			})
 		},
+		"gen": func() {
+			run("gen", func() (fmt.Stringer, error) {
+				res, err := bench.RunGenBench(bench.GenBenchOptions{
+					Seed: *seed, Workers: *workers, Small: *small,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if *genOut != "" {
+					data, err := json.MarshalIndent(res, "", " ")
+					if err != nil {
+						return nil, err
+					}
+					if err := os.WriteFile(*genOut, append(data, '\n'), 0o644); err != nil {
+						return nil, err
+					}
+					fmt.Printf("[gen report written to %s]\n", *genOut)
+				}
+				return wrapped{res}, nil
+			})
+		},
 	}
 
 	if *exp == "all" {
 		for _, name := range []string{"table1", "fig6", "fig7", "fig8", "table2", "table3", "table4", "families", "logstore"} {
 			experiments[name]()
 		}
-		return
-	}
-	fn, ok := experiments[*exp]
-	if !ok {
+	} else if fn, ok := experiments[*exp]; ok {
+		fn()
+	} else {
 		fmt.Fprintf(os.Stderr, "pinsql-bench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
-	fn()
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 // formatter is any experiment result with a Format method.

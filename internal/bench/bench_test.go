@@ -155,7 +155,7 @@ func TestRunTableII(t *testing.T) {
 	if testing.Short() {
 		t.Skip("replay pairs are slow")
 	}
-	res, err := RunTableII(13, 4)
+	res, err := RunTableII(13, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,46 +67,63 @@ func RunFig7(seed int64, templateSweep []int, periodSweep []int, workers int) (*
 		}
 	}
 
+	// Both sweeps fan case generation out over the worker pool (every
+	// sweep point owns an independent seed) and measure in index order on
+	// this goroutine, so the report is identical for any worker count.
+	// Generation of later points overlaps measurement of earlier ones;
+	// that can add scheduler noise to absolute times, but each case's seq
+	// and par diagnoses — the ratio the figure is about — still run
+	// back-to-back on this goroutine.
+
 	// Sweep 1: templates (fixed moderate anomaly period).
-	for i, nt := range templateSweep {
-		opt := cases.DefaultOptions()
-		opt.Seed = seed + int64(i)
-		opt.TraceSec = 2400
-		opt.AnomalyStartSec = 1500
-		opt.AnomalyMinDurSec = 300
-		opt.AnomalyMaxDurSec = 300
-		opt.HistoryDays = []int{1}
-		// Filler templates to reach the requested cardinality; the
-		// default world carries ~23 of its own.
-		fill := nt - 23
-		if fill < 0 {
-			fill = 0
-		}
-		opt.FillerServices = fill / 25
-		opt.FillerSpecs = 25
-		lab, err := cases.GenerateOne(opt, int64(i), workload.KindBusinessSpike)
-		if err != nil {
-			return nil, err
-		}
-		out.ByTemplates = append(out.ByTemplates, measure(lab))
+	err := parallel.OrderedStream(workers, len(templateSweep),
+		func(i int) (*cases.Labeled, error) {
+			opt := cases.DefaultOptions()
+			opt.Seed = seed + int64(i)
+			opt.TraceSec = 2400
+			opt.AnomalyStartSec = 1500
+			opt.AnomalyMinDurSec = 300
+			opt.AnomalyMaxDurSec = 300
+			opt.HistoryDays = []int{1}
+			// Filler templates to reach the requested cardinality; the
+			// default world carries ~23 of its own.
+			fill := templateSweep[i] - 23
+			if fill < 0 {
+				fill = 0
+			}
+			opt.FillerServices = fill / 25
+			opt.FillerSpecs = 25
+			return cases.GenerateOne(opt, int64(i), workload.KindBusinessSpike)
+		},
+		func(i int, lab *cases.Labeled) error {
+			out.ByTemplates = append(out.ByTemplates, measure(lab))
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// Sweep 2: anomaly period length (fixed template count).
-	for i, period := range periodSweep {
-		opt := cases.DefaultOptions()
-		opt.Seed = seed + 100 + int64(i)
-		opt.TraceSec = period + 1900
-		opt.AnomalyStartSec = 1800
-		opt.AnomalyMinDurSec = period
-		opt.AnomalyMaxDurSec = period
-		opt.FillerServices = 6
-		opt.FillerSpecs = 10
-		opt.HistoryDays = []int{1}
-		lab, err := cases.GenerateOne(opt, int64(i), workload.KindBusinessSpike)
-		if err != nil {
-			return nil, err
-		}
-		out.ByPeriod = append(out.ByPeriod, measure(lab))
+	err = parallel.OrderedStream(workers, len(periodSweep),
+		func(i int) (*cases.Labeled, error) {
+			period := periodSweep[i]
+			opt := cases.DefaultOptions()
+			opt.Seed = seed + 100 + int64(i)
+			opt.TraceSec = period + 1900
+			opt.AnomalyStartSec = 1800
+			opt.AnomalyMinDurSec = period
+			opt.AnomalyMaxDurSec = period
+			opt.FillerServices = 6
+			opt.FillerSpecs = 10
+			opt.HistoryDays = []int{1}
+			return cases.GenerateOne(opt, int64(i), workload.KindBusinessSpike)
+		},
+		func(i int, lab *cases.Labeled) error {
+			out.ByPeriod = append(out.ByPeriod, measure(lab))
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	seqTime := func(p Fig7Point) float64 { return p.TimeSec }

@@ -7,6 +7,7 @@ import (
 	"pinsql/internal/cases"
 	"pinsql/internal/core"
 	"pinsql/internal/logstore"
+	"pinsql/internal/parallel"
 	"pinsql/internal/repair"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/workload"
@@ -34,7 +35,13 @@ type TableII struct {
 // time). The gain is measured by replaying the same deterministic workload
 // with the optimization applied and comparing the statement's own mean
 // response time and examined rows over the anomaly window.
-func RunTableII(seed int64, count int) (*TableII, error) {
+//
+// Each case — its generation, diagnosis, and up-to-four replay
+// simulations — is self-contained, so cases fan out over `workers`
+// goroutines; gains are accumulated in case order on the calling
+// goroutine, keeping the float sums (and thus the table) bit-identical
+// for every worker count.
+func RunTableII(seed int64, count, workers int) (*TableII, error) {
 	if count <= 0 {
 		count = 8
 	}
@@ -55,43 +62,65 @@ func RunTableII(seed int64, count int) (*TableII, error) {
 	opt.FillerSpecs = 4
 	opt.HistoryDays = []int{1}
 
-	for i := 0; i < count; i++ {
-		kind := kinds[i%len(kinds)]
-		lab, err := cases.GenerateOne(opt, int64(i), kind)
-		if err != nil {
-			return nil, err
-		}
-		snap := lab.Case.Snapshot
-		as, ae := lab.Case.AS, lab.Case.AE
+	// caseGain is one case's contribution to the two strategy rows.
+	type caseGain struct {
+		rsql, slow         bool
+		rsqlTres, rsqlRows float64
+		slowTres, slowRows float64
+	}
 
-		// Strategy (a): PinSQL's top R-SQL.
-		d := core.Diagnose(lab.Case, cases.QueriesOf(lab.Collector, snap), core.DefaultConfig())
-		if len(d.RSQLs) > 0 {
-			tres, rows, err := optimizationGain(opt, int64(i), kind, d.RSQLs[0].ID, as, ae)
+	err := parallel.OrderedStream(workers, count,
+		func(i int) (caseGain, error) {
+			var g caseGain
+			kind := kinds[i%len(kinds)]
+			lab, err := cases.GenerateOne(opt, int64(i), kind)
 			if err != nil {
-				return nil, err
+				return g, err
 			}
-			if tres != 0 || rows != 0 {
+			snap := lab.Case.Snapshot
+			as, ae := lab.Case.AS, lab.Case.AE
+
+			// Strategy (a): PinSQL's top R-SQL.
+			d := core.Diagnose(lab.Case, cases.QueriesOf(lab.Collector, snap), core.DefaultConfig())
+			if len(d.RSQLs) > 0 {
+				tres, rows, err := optimizationGain(opt, int64(i), kind, d.RSQLs[0].ID, as, ae)
+				if err != nil {
+					return g, err
+				}
+				if tres != 0 || rows != 0 {
+					g.rsql, g.rsqlTres, g.rsqlRows = true, tres, rows
+				}
+			}
+
+			// Strategy (b): the slow-SQL detector — highest mean response
+			// time among templates with meaningful traffic.
+			slowID := slowestTemplate(lab, as, ae)
+			if slowID != "" {
+				tres, rows, err := optimizationGain(opt, int64(i), kind, slowID, as, ae)
+				if err != nil {
+					return g, err
+				}
+				if tres != 0 || rows != 0 {
+					g.slow, g.slowTres, g.slowRows = true, tres, rows
+				}
+			}
+			return g, nil
+		},
+		func(i int, g caseGain) error {
+			if g.rsql {
 				rsqlAcc.n++
-				rsqlAcc.tres += tres
-				rsqlAcc.rows += rows
+				rsqlAcc.tres += g.rsqlTres
+				rsqlAcc.rows += g.rsqlRows
 			}
-		}
-
-		// Strategy (b): the slow-SQL detector — highest mean response
-		// time among templates with meaningful traffic.
-		slowID := slowestTemplate(lab, as, ae)
-		if slowID != "" {
-			tres, rows, err := optimizationGain(opt, int64(i), kind, slowID, as, ae)
-			if err != nil {
-				return nil, err
-			}
-			if tres != 0 || rows != 0 {
+			if g.slow {
 				slowAcc.n++
-				slowAcc.tres += tres
-				slowAcc.rows += rows
+				slowAcc.tres += g.slowTres
+				slowAcc.rows += g.slowRows
 			}
-		}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	out := &TableII{}

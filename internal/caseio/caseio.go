@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"pinsql/internal/anomaly"
 	"pinsql/internal/collect"
@@ -113,8 +114,16 @@ func FromCase(c *anomaly.Case, queries session.Queries) *File {
 			SumRows: ts.SumRows,
 		})
 	}
-	for id, obs := range queries {
-		for _, o := range obs {
+	// Iterate templates in sorted order, not map order: the rendered file
+	// must be byte-identical for the same case however it was produced
+	// (the parallel-generation equivalence tests diff files directly).
+	ids := make([]sqltemplate.ID, 0, len(queries))
+	for id := range queries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		for _, o := range queries[id] {
 			f.Queries = append(f.Queries, Query{
 				Template:   string(id),
 				ArrivalMs:  o.ArrivalMs,

@@ -20,6 +20,7 @@ import (
 	"pinsql/internal/collect"
 	"pinsql/internal/dbsim"
 	"pinsql/internal/logstore"
+	"pinsql/internal/parallel"
 	"pinsql/internal/session"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/timeseries"
@@ -67,6 +68,14 @@ type Options struct {
 	HistoryDays []int
 
 	Cores int // instance cores; 0 → default
+
+	// Workers bounds how many cases generate concurrently: 1 is the exact
+	// sequential path, 0 or negative means use every core
+	// (parallel.Resolve). Each case owns its seed, world, instance and
+	// collector, so generation order cannot leak into case content; Stream
+	// re-delivers in case order regardless, making the corpus — and every
+	// report built from it — bit-identical for all Workers values.
+	Workers int
 }
 
 // DefaultOptions returns the standard corpus configuration: 2400 s traces
@@ -86,9 +95,12 @@ func DefaultOptions() Options {
 	}
 }
 
-// Stream generates Count cases one at a time and hands each to fn,
-// releasing it afterwards. This keeps memory bounded: a full corpus of
-// multi-thousand-second traces does not fit comfortably in RAM at once.
+// Stream generates Count cases and hands each to fn in case order,
+// releasing it afterwards. Generation fans out over opt.Workers goroutines
+// (each case is self-contained), but fn always runs on the calling
+// goroutine, in order, with at most Workers+1 cases alive at once — memory
+// stays bounded: a full corpus of multi-thousand-second traces does not
+// fit comfortably in RAM.
 func Stream(opt Options, fn func(*Labeled) error) error {
 	if opt.Count <= 0 {
 		return nil
@@ -99,17 +111,16 @@ func Stream(opt Options, fn func(*Labeled) error) error {
 		workload.KindLockStorm,
 		workload.KindMDL,
 	}
-	for i := 0; i < opt.Count; i++ {
-		kind := kinds[i%len(kinds)]
-		c, err := GenerateOne(opt, int64(i), kind)
-		if err != nil {
-			return fmt.Errorf("case %d (%s): %w", i, kind, err)
-		}
-		if err := fn(c); err != nil {
-			return err
-		}
-	}
-	return nil
+	return parallel.OrderedStream(opt.Workers, opt.Count,
+		func(i int) (*Labeled, error) {
+			kind := kinds[i%len(kinds)]
+			c, err := GenerateOne(opt, int64(i), kind)
+			if err != nil {
+				return nil, fmt.Errorf("case %d (%s): %w", i, kind, err)
+			}
+			return c, nil
+		},
+		func(i int, c *Labeled) error { return fn(c) })
 }
 
 // Generate materializes the whole corpus in memory; prefer Stream for

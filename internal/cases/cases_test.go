@@ -1,6 +1,9 @@
 package cases
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"testing"
 
 	"pinsql/internal/workload"
@@ -164,5 +167,63 @@ func TestQueriesOfCoversLog(t *testing.T) {
 	}
 	if float64(total) != logged {
 		t.Errorf("queries = %d, logged executions = %v", total, logged)
+	}
+}
+
+// corpusFingerprint flattens the fields of a generated case that every
+// report reads, so corpora generated under different worker counts can be
+// compared for exact equality.
+func corpusFingerprint(t *testing.T, labs []*Labeled) string {
+	t.Helper()
+	var b strings.Builder
+	for _, lab := range labs {
+		fmt.Fprintf(&b, "%s|%s|%v|%d|%d\n", lab.Name, lab.Kind, lab.Detected, lab.Case.AS, lab.Case.AE)
+		for _, v := range lab.Case.Snapshot.ActiveSession {
+			fmt.Fprintf(&b, "%.12g ", v)
+		}
+		b.WriteByte('\n')
+		for _, ts := range lab.Case.Snapshot.Templates {
+			fmt.Fprintf(&b, "%s %.12g %.12g %.12g\n", ts.Meta.ID, ts.Count.Sum(), ts.SumRT.Sum(), ts.SumRows.Sum())
+		}
+		ids := make([]string, 0, len(lab.RSQLs)+len(lab.HSQLs))
+		for id := range lab.RSQLs {
+			ids = append(ids, "R"+string(id))
+		}
+		for id := range lab.HSQLs {
+			ids = append(ids, "H"+string(id))
+		}
+		sort.Strings(ids)
+		fmt.Fprintf(&b, "%v\n", ids)
+	}
+	return b.String()
+}
+
+// TestStreamWorkersEquivalence generates the same corpus at several worker
+// counts and asserts delivery order and case content are identical — the
+// determinism contract behind parallel case generation.
+func TestStreamWorkersEquivalence(t *testing.T) {
+	opt := smallOptions()
+	opt.TraceSec = 600
+	opt.AnomalyStartSec = 300
+	opt.AnomalyMinDurSec = 120
+	opt.AnomalyMaxDurSec = 180
+	opt.Count = 4 // one case of each family
+
+	var want string
+	for _, workers := range []int{1, 2, 4} {
+		o := opt
+		o.Workers = workers
+		labs, err := Generate(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		fp := corpusFingerprint(t, labs)
+		if workers == 1 {
+			want = fp
+			continue
+		}
+		if fp != want {
+			t.Errorf("corpus at workers=%d differs from sequential corpus", workers)
+		}
 	}
 }

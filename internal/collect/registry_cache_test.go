@@ -1,0 +1,125 @@
+package collect
+
+// Tests for the raw-SQL interning cache: it must be a pure accelerator —
+// identical registry contents and identical Intern results with the cache
+// on, off, or pathologically small — and it must stay race-clean under
+// concurrent interning.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pinsql/internal/dbsim"
+)
+
+// cacheWorkload yields raw-SQL log records with repeated statements (cache
+// hits), literal variants of one shape (same template, new raw spellings),
+// and unique statements (cache churn).
+func cacheWorkload(seed int64, n int) []dbsim.LogRecord {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]dbsim.LogRecord, 0, n)
+	for i := 0; i < n; i++ {
+		var sql string
+		switch rng.Intn(4) {
+		case 0: // hot statement repeated verbatim
+			sql = "SELECT * FROM orders WHERE id = 1"
+		case 1: // same template, varying literal
+			sql = fmt.Sprintf("SELECT * FROM orders WHERE id = %d", rng.Intn(50))
+		case 2: // another hot template
+			sql = fmt.Sprintf("UPDATE users SET age = %d WHERE name = 'u%d'", rng.Intn(99), rng.Intn(10))
+		default: // unique statement
+			sql = fmt.Sprintf("INSERT INTO t%d (a) VALUES (%d)", i, i)
+		}
+		recs = append(recs, dbsim.LogRecord{SQL: sql, Table: "orders", Kind: dbsim.KindSelect})
+	}
+	return recs
+}
+
+// TestRegistryCacheDifferential drives identical record streams through a
+// cache-enabled and a cache-disabled registry and asserts every Intern
+// result and the final registry contents are identical.
+func TestRegistryCacheDifferential(t *testing.T) {
+	recs := cacheWorkload(11, 5000)
+	on := NewRegistry()
+	off := NewRegistry()
+	off.SetRawCacheCap(0)
+	tiny := NewRegistry()
+	tiny.SetRawCacheCap(3) // pathological bound: constant eviction
+
+	for i, rec := range recs {
+		a, b, c := on.Intern(rec), off.Intern(rec), tiny.Intern(rec)
+		if a != b || a != c {
+			t.Fatalf("record %d (%q): cache-on %+v, cache-off %+v, tiny %+v", i, rec.SQL, a, b, c)
+		}
+	}
+	if !reflect.DeepEqual(on.Entries(), off.Entries()) {
+		t.Fatal("cache-on and cache-off registries diverged")
+	}
+	if !reflect.DeepEqual(on.Entries(), tiny.Entries()) {
+		t.Fatal("cache-on and tiny-cache registries diverged")
+	}
+
+	hits, misses, size := on.RawCacheStats()
+	if hits == 0 {
+		t.Error("expected cache hits on a workload with repeated statements")
+	}
+	if misses == 0 {
+		t.Error("expected cache misses on first sight of each statement")
+	}
+	if size > DefaultRawCacheCap {
+		t.Errorf("cache size %d exceeds cap %d", size, DefaultRawCacheCap)
+	}
+	if offHits, _, offSize := off.RawCacheStats(); offHits != 0 || offSize != 0 {
+		t.Errorf("disabled cache recorded hits=%d size=%d", offHits, offSize)
+	}
+	if _, _, tinySize := tiny.RawCacheStats(); tinySize > 3 {
+		t.Errorf("tiny cache size %d exceeds cap 3", tinySize)
+	}
+}
+
+// TestRegistryCacheBounded floods the cache with unique statements and
+// asserts the bound holds.
+func TestRegistryCacheBounded(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < DefaultRawCacheCap*2; i++ {
+		r.Intern(dbsim.LogRecord{SQL: fmt.Sprintf("SELECT %d FROM t WHERE c = 'x%d'", i, i)})
+	}
+	if _, _, size := r.RawCacheStats(); size > DefaultRawCacheCap {
+		t.Fatalf("cache size %d exceeds cap %d", size, DefaultRawCacheCap)
+	}
+}
+
+// TestRegistryCacheConcurrent hammers one registry from many goroutines
+// with overlapping raw statements; under -race this proves the cache's
+// read-path/insert-path locking, and every goroutine must observe
+// identical metadata for identical SQL.
+func TestRegistryCacheConcurrent(t *testing.T) {
+	r := NewRegistry()
+	r.SetRawCacheCap(64) // small enough to exercise eviction concurrently
+	const goroutines = 8
+	var wg sync.WaitGroup
+	results := make([][]TemplateMeta, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			recs := cacheWorkload(99, 2000) // same stream in every goroutine
+			out := make([]TemplateMeta, 0, len(recs))
+			for _, rec := range recs {
+				out = append(out, r.Intern(rec))
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		for i := range results[0] {
+			if results[g][i].ID != results[0][i].ID || results[g][i].Text != results[0][i].Text {
+				t.Fatalf("goroutine %d record %d: %+v vs %+v", g, i, results[g][i], results[0][i])
+			}
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package dbsim
 
 import (
-	"container/heap"
 	"errors"
 	"math"
 )
@@ -49,7 +48,9 @@ type RunOptions struct {
 	Source  Source
 	// OnComplete, if non-nil, is invoked for every completed query and may
 	// return a follow-up query (closed-loop stress testing). The returned
-	// query's ArrivalMs must be ≥ the completion time.
+	// query's ArrivalMs must be ≥ the completion time. The engine never
+	// touches finished after the callback returns, so closed-loop drivers
+	// may recycle the finished Query as the returned one.
 	OnComplete func(finished *Query, nowMs int64) *Query
 	// Sink receives the query-log record of every finished statement.
 	Sink LogSink
@@ -71,39 +72,99 @@ type activeQuery struct {
 	tbl          *table
 }
 
-// runHeap orders running statements by finish virtual time.
-type runHeap []*activeQuery
+// The running and internal-arrival priority queues are typed binary heaps
+// that replicate container/heap's exact sift order (append + siftUp on
+// push; swap-root-with-last + siftDown on pop), so completion and arrival
+// ties break identically to the old boxed implementation — the engine's
+// output is bit-for-bit unchanged — while pushes no longer round-trip
+// every element through interface{} and a vtable.
 
-func (h runHeap) Len() int            { return len(h) }
-func (h runHeap) Less(i, j int) bool  { return h[i].finishV < h[j].finishV }
-func (h runHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *runHeap) Push(x interface{}) { *h = append(*h, x.(*activeQuery)) }
-func (h *runHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	aq := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+// pushRun inserts aq into the running heap (min finishV at the root).
+func (e *engine) pushRun(aq *activeQuery) {
+	h := append(e.running, aq)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].finishV < h[i].finishV) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	e.running = h
+}
+
+// popRun removes and returns the statement with the smallest finishV.
+func (e *engine) popRun() *activeQuery {
+	h := e.running
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].finishV < h[j].finishV {
+			j = j2
+		}
+		if !(h[j].finishV < h[i].finishV) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	aq := h[n]
+	h[n] = nil
+	e.running = h[:n]
 	return aq
 }
 
-// arrivalHeap orders internally generated (closed-loop) arrivals.
-type arrivalHeap []*Query
+// pushInternal inserts a closed-loop follow-up arrival.
+func (e *engine) pushInternal(q *Query) {
+	h := append(e.internal, q)
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].ArrivalMs < h[i].ArrivalMs) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+	e.internal = h
+}
 
-func (h arrivalHeap) Len() int            { return len(h) }
-func (h arrivalHeap) Less(i, j int) bool  { return h[i].ArrivalMs < h[j].ArrivalMs }
-func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(*Query)) }
-func (h *arrivalHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	q := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+// popInternal removes and returns the earliest internal arrival.
+func (e *engine) popInternal() *Query {
+	h := e.internal
+	n := len(h) - 1
+	h[0], h[n] = h[n], h[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && h[j2].ArrivalMs < h[j].ArrivalMs {
+			j = j2
+		}
+		if !(h[j].ArrivalMs < h[i].ArrivalMs) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	q := h[n]
+	h[n] = nil
+	e.internal = h[:n]
 	return q
 }
 
-// engine holds one run's mutable state.
+// engine holds one run's mutable state. Its heavy scratch structures
+// (heaps, FIFO, freelist, wake map, throttle counters) live on the
+// Instance and are reused across runs, so a warm instance simulates with
+// no per-event — and almost no per-run — allocations.
 type engine struct {
 	in   *Instance
 	opts RunOptions
@@ -111,13 +172,20 @@ type engine struct {
 	now  float64 // virtual milliseconds
 	curV float64 // processor-sharing virtual time
 
-	running  runHeap
-	internal arrivalHeap // closed-loop arrivals
-	blocked  int         // statements waiting on row or metadata locks
+	running  []*activeQuery // min-heap on finishV
+	internal []*Query       // min-heap on ArrivalMs (closed-loop arrivals)
+	blocked  int            // statements waiting on row or metadata locks
 	// blockedFIFO tracks blocked statements in blocking order for the
 	// lock wait timeout; entries are lazily skipped when stale (the
-	// statement was woken, completed, or re-blocked since).
+	// statement was woken, completed, or re-blocked since). fifoHead
+	// indexes the logical front so dequeuing reuses the backing array
+	// instead of reslicing it away.
 	blockedFIFO []blockEntry
+	fifoHead    int
+
+	// free is the activeQuery freelist: completed and timed-out
+	// statements return their (zeroed) state here for the next admission.
+	free []*activeQuery
 
 	seconds []SecondMetrics
 	startMs int64
@@ -139,6 +207,12 @@ type engine struct {
 
 	// Throttle admission counts for the current second.
 	throttleCount map[string]int
+
+	// claimed is the wake-scan scratch: keys touched by still-blocked
+	// earlier waiters in the current wakeRowWaiters pass. Stamping with a
+	// generation counter clears it in O(1) per pass.
+	claimed  map[int]uint64
+	claimGen uint64
 }
 
 var errNoSource = errors.New("dbsim: RunOptions.Source is required")
@@ -153,14 +227,27 @@ func (in *Instance) Run(opts RunOptions) ([]SecondMetrics, error) {
 		return nil, errors.New("dbsim: EndMs must exceed StartMs")
 	}
 	totalSeconds := (opts.EndMs - opts.StartMs + 999) / 1000
-	e := &engine{
+	e := &in.scratch
+	*e = engine{
 		in:            in,
 		opts:          opts,
 		now:           float64(opts.StartMs),
 		startMs:       opts.StartMs,
 		seconds:       make([]SecondMetrics, 0, totalSeconds),
 		curSecond:     0,
-		throttleCount: make(map[string]int),
+		running:       e.running[:0],
+		internal:      e.internal[:0],
+		blockedFIFO:   e.blockedFIFO[:0],
+		free:          e.free,
+		claimed:       e.claimed,
+		claimGen:      e.claimGen,
+		throttleCount: e.throttleCount,
+	}
+	if e.throttleCount == nil {
+		e.throttleCount = make(map[string]int)
+	}
+	if e.claimed == nil {
+		e.claimed = make(map[int]uint64)
 	}
 	e.scheduleSample()
 
@@ -193,15 +280,80 @@ func (in *Instance) Run(opts RunOptions) ([]SecondMetrics, error) {
 	// must go with them, or a later Run on the same instance would face
 	// phantom holders and demands that nobody will ever release.
 	for _, tbl := range in.tables {
-		tbl.rowLocks = make(map[int]*activeQuery)
-		tbl.demanded = make(map[int]int)
-		tbl.rowWaiters = nil
-		tbl.mdlHolder = nil
-		tbl.mdlPending = nil
-		tbl.mdlWaiters = nil
+		for k := range tbl.rowLocks {
+			delete(tbl.rowLocks, k)
+		}
+		for k := range tbl.demanded {
+			delete(tbl.demanded, k)
+		}
+		tbl.rowWaiters = recycleWaiters(e, tbl.rowWaiters)
+		tbl.mdlPending = recycleWaiters(e, tbl.mdlPending)
+		tbl.mdlWaiters = recycleWaiters(e, tbl.mdlWaiters)
+		if tbl.mdlHolder != nil {
+			e.release(tbl.mdlHolder)
+			tbl.mdlHolder = nil
+		}
 		tbl.inFlight = 0
 	}
-	return e.seconds, nil
+	seconds := e.seconds
+	e.retire()
+	return seconds, nil
+}
+
+// retire parks the engine's scratch back on the instance with every
+// cross-run reference cleared, so dropped queries and sinks are not
+// retained past the run.
+func (e *engine) retire() {
+	for i, aq := range e.running {
+		e.release(aq)
+		e.running[i] = nil
+	}
+	e.running = e.running[:0]
+	for i := range e.internal {
+		e.internal[i] = nil
+	}
+	e.internal = e.internal[:0]
+	for i := range e.blockedFIFO {
+		e.blockedFIFO[i] = blockEntry{}
+	}
+	e.blockedFIFO = e.blockedFIFO[:0]
+	e.fifoHead = 0
+	e.opts = RunOptions{}
+	e.seconds = nil
+	for k := range e.throttleCount {
+		delete(e.throttleCount, k)
+	}
+}
+
+// recycleWaiters empties a wait list into the freelist.
+func recycleWaiters(e *engine, list []*activeQuery) []*activeQuery {
+	for i, aq := range list {
+		e.release(aq)
+		list[i] = nil
+	}
+	return nil
+}
+
+// newActive takes an activeQuery from the freelist, or allocates one.
+func (e *engine) newActive(q *Query, demand float64, tbl *table) *activeQuery {
+	if n := len(e.free); n > 0 {
+		aq := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		aq.q, aq.demand, aq.tbl = q, demand, tbl
+		return aq
+	}
+	return &activeQuery{q: q, demand: demand, tbl: tbl}
+}
+
+// release zeroes a finished activeQuery and returns it to the freelist.
+// Stale blockedFIFO entries may still point at it; their staleness check
+// (blockedSince == recorded since) can never collide with a recycled
+// occupant, because any new blocking episode happens strictly later in
+// virtual time than the stale entry's timestamp.
+func (e *engine) release(aq *activeQuery) {
+	*aq = activeQuery{}
+	e.free = append(e.free, aq)
 }
 
 func (e *engine) nextArrivalTime() float64 {
@@ -218,7 +370,7 @@ func (e *engine) nextArrivalTime() float64 {
 func (e *engine) popArrival() *Query {
 	ts := e.opts.Source.Peek()
 	if len(e.internal) > 0 && e.internal[0].ArrivalMs < ts {
-		return heap.Pop(&e.internal).(*Query)
+		return e.popInternal()
 	}
 	return e.opts.Source.Pop()
 }
@@ -356,7 +508,7 @@ func (e *engine) admit(q *Query) {
 	if demand < 0.01 {
 		demand = 0.01
 	}
-	aq := &activeQuery{q: q, demand: demand, tbl: tbl}
+	aq := e.newActive(q, demand, tbl)
 
 	if q.MDLExclusive {
 		if tbl.inFlight > 0 || tbl.mdlHolder != nil || len(tbl.mdlPending) > 0 {
@@ -417,6 +569,12 @@ func (e *engine) block(aq *activeQuery, mdl bool) {
 			e.mdlWaits++
 		}
 		if e.in.cfg.LockWaitTimeoutMs > 0 {
+			if e.fifoHead == len(e.blockedFIFO) {
+				// Queue drained: rewind onto the front of the backing
+				// array instead of growing it forever.
+				e.blockedFIFO = e.blockedFIFO[:0]
+				e.fifoHead = 0
+			}
 			e.blockedFIFO = append(e.blockedFIFO, blockEntry{aq: aq, since: e.now})
 		}
 	}
@@ -428,10 +586,11 @@ func (e *engine) nextLockTimeout() float64 {
 	if e.in.cfg.LockWaitTimeoutMs <= 0 {
 		return math.Inf(1)
 	}
-	for len(e.blockedFIFO) > 0 {
-		front := e.blockedFIFO[0]
+	for e.fifoHead < len(e.blockedFIFO) {
+		front := e.blockedFIFO[e.fifoHead]
 		if front.aq.blockedSince == 0 || front.aq.blockedSince != front.since {
-			e.blockedFIFO = e.blockedFIFO[1:]
+			e.blockedFIFO[e.fifoHead] = blockEntry{}
+			e.fifoHead++
 			continue
 		}
 		return front.since + float64(e.in.cfg.LockWaitTimeoutMs)
@@ -444,8 +603,9 @@ func (e *engine) nextLockTimeout() float64 {
 // record is emitted — the "Lock wait timeout exceeded" every MySQL user
 // knows. The session it occupied is freed.
 func (e *engine) timeoutFront() {
-	front := e.blockedFIFO[0]
-	e.blockedFIFO = e.blockedFIFO[1:]
+	front := e.blockedFIFO[e.fifoHead]
+	e.blockedFIFO[e.fifoHead] = blockEntry{}
+	e.fifoHead++
 	aq := front.aq
 	if aq.blockedSince == 0 || aq.blockedSince != front.since {
 		return // stale entry: already woken
@@ -478,6 +638,7 @@ func (e *engine) timeoutFront() {
 	e.lockTimeouts++
 	e.emitTimeoutLog(aq.q, e.now-float64(aq.q.ArrivalMs), aq.lockWaitMs+wait)
 	e.scheduleFollowUp(aq.q)
+	e.release(aq)
 }
 
 // removeWaiter deletes aq from a wait list, preserving order.
@@ -515,12 +676,12 @@ func (e *engine) startRunning(aq *activeQuery) {
 		e.blocked--
 	}
 	aq.finishV = e.curV + aq.demand
-	heap.Push(&e.running, aq)
+	e.pushRun(aq)
 }
 
 // completeMin finishes the statement with the smallest finish virtual time.
 func (e *engine) completeMin() {
-	aq := heap.Pop(&e.running).(*activeQuery)
+	aq := e.popRun()
 	q := aq.q
 	tbl := aq.tbl
 
@@ -534,6 +695,7 @@ func (e *engine) completeMin() {
 
 	if q.MDLExclusive {
 		tbl.mdlHolder = nil
+		e.release(aq)
 		e.releaseMDL(tbl)
 	} else {
 		for _, key := range q.LockKeys {
@@ -542,6 +704,7 @@ func (e *engine) completeMin() {
 			}
 		}
 		tbl.inFlight--
+		e.release(aq)
 		e.wakeRowWaiters(tbl)
 		e.maybeGrantMDL(tbl)
 	}
@@ -583,20 +746,21 @@ func (e *engine) wakeRowWaiters(tbl *table) {
 	if len(tbl.rowWaiters) == 0 {
 		return
 	}
-	claimed := make(map[int]bool)
+	e.claimGen++
+	gen := e.claimGen
 	remaining := tbl.rowWaiters[:0]
 	for i, aq := range tbl.rowWaiters {
 		free := true
 		for _, key := range aq.q.LockKeys {
 			holder, held := tbl.rowLocks[key]
-			if (held && holder != aq) || claimed[key] {
+			if (held && holder != aq) || e.claimed[key] == gen {
 				free = false
 				break
 			}
 		}
 		if !free {
 			for _, key := range aq.q.LockKeys {
-				claimed[key] = true
+				e.claimed[key] = gen
 			}
 			remaining = append(remaining, tbl.rowWaiters[i])
 			continue
@@ -641,5 +805,5 @@ func (e *engine) scheduleFollowUp(q *Query) {
 	if next.ArrivalMs < int64(e.now) {
 		next.ArrivalMs = int64(e.now)
 	}
-	heap.Push(&e.internal, next)
+	e.pushInternal(next)
 }

@@ -64,6 +64,13 @@ type Instance struct {
 	tables map[string]*table
 
 	throttles map[string]throttleRule // template ID → rate limit
+
+	// scratch is the engine's reusable run state (heap and FIFO backing
+	// arrays, the activeQuery freelist, the wake-scan map). Keeping it on
+	// the instance means a warm instance runs simulations without
+	// per-event allocations. Instances are not safe for concurrent Runs —
+	// that was already true (rng, table state); this makes it structural.
+	scratch engine
 }
 
 // throttleRule is one installed SQL throttle: a rate limit with an optional

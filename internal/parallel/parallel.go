@@ -46,6 +46,142 @@ func ForEach(workers, n int, fn func(i int)) {
 	})
 }
 
+// OrderedStream runs produce(i) for every i in [0, n) across the resolved
+// worker count and hands each result to consume in index order, on the
+// calling goroutine. It is the streaming analogue of ForEach for pipelines
+// whose items are too large to materialize all at once (a generated anomaly
+// case): at most workers+1 produced-but-undelivered results exist at any
+// moment, so memory stays bounded while production overlaps consumption.
+//
+// workers == 1 degenerates to the exact sequential produce-then-consume
+// loop (no goroutines). The determinism contract of the package holds:
+// consume observes the same (i, value) sequence for every worker count, so
+// any order-sensitive accumulation in consume is bit-identical.
+//
+// The first error — from the lowest-index failing produce, or from consume
+// — cancels the stream and is returned; later-index produce errors that
+// sequential execution would never have reached are discarded. A panic in
+// produce is re-raised on the calling goroutine after the pool drains.
+func OrderedStream[T any](workers, n int, produce func(i int) (T, error), consume func(i int, v T) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			v, err := produce(i)
+			if err != nil {
+				return err
+			}
+			if err := consume(i, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	window := workers + 1
+	var (
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		next      int // next index to assign to a producer
+		delivered int // results handed to consume so far
+		vals      = make(map[int]T, window)
+		errs      = make(map[int]error, window)
+		stopped   bool
+		panicked  any
+		wg        sync.WaitGroup
+	)
+
+	worker := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if panicked == nil {
+					panicked = r
+				}
+				stopped = true
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+		for {
+			mu.Lock()
+			for !stopped && next < n && next >= delivered+window {
+				cond.Wait()
+			}
+			if stopped || next >= n {
+				mu.Unlock()
+				return
+			}
+			i := next
+			next++
+			mu.Unlock()
+
+			v, err := produce(i)
+
+			mu.Lock()
+			vals[i] = v
+			errs[i] = err
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+
+	var retErr error
+	mu.Lock()
+	for delivered < n {
+		for {
+			if _, ok := errs[delivered]; ok {
+				break
+			}
+			if panicked != nil {
+				break
+			}
+			cond.Wait()
+		}
+		if panicked != nil {
+			break
+		}
+		i := delivered
+		err := errs[i]
+		v := vals[i]
+		delete(errs, i)
+		delete(vals, i)
+		if err != nil {
+			retErr = err
+			break
+		}
+		// Open the window before consuming so producers keep running
+		// while consume executes on this goroutine.
+		delivered++
+		cond.Broadcast()
+		mu.Unlock()
+		cerr := consume(i, v)
+		mu.Lock()
+		if cerr != nil {
+			retErr = cerr
+			break
+		}
+	}
+	stopped = true
+	cond.Broadcast()
+	mu.Unlock()
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return retErr
+}
+
 // Blocks invokes fn(lo, hi) over disjoint chunks covering [0, n), spread
 // over the resolved worker count. It is ForEach for loops that want to
 // hoist per-chunk setup (buffers, locals) out of the inner iteration.

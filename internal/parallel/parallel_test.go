@@ -1,10 +1,14 @@
 package parallel
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestResolve(t *testing.T) {
@@ -92,4 +96,154 @@ func TestForEachPanicPropagates(t *testing.T) {
 			panic("boom")
 		}
 	})
+}
+
+// TestOrderedStreamDelivery asserts consume sees every (i, produce(i)) pair
+// in strict index order for a spread of worker counts, and that the
+// sequence is identical across them (the determinism contract).
+func TestOrderedStreamDelivery(t *testing.T) {
+	const n = 500
+	var want []int
+	for _, workers := range []int{1, 2, 3, 8, 64} {
+		var got []int
+		err := OrderedStream(workers, n,
+			func(i int) (int, error) { return i * i, nil },
+			func(i int, v int) error {
+				if v != i*i {
+					t.Fatalf("workers=%d: consume(%d) got %d", workers, i, v)
+				}
+				got = append(got, v)
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != n {
+			t.Fatalf("workers=%d: consumed %d of %d", workers, len(got), n)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out of order at %d: %d", workers, i, v)
+			}
+		}
+		if want == nil {
+			want = got
+		}
+	}
+}
+
+// TestOrderedStreamBoundedWindow asserts at most workers+1 results are
+// produced but not yet consumed at any moment — the memory bound that
+// makes streaming generation safe for multi-megabyte cases.
+func TestOrderedStreamBoundedWindow(t *testing.T) {
+	const workers, n = 4, 200
+	var produced, consumed atomic.Int64
+	var maxLead atomic.Int64
+	err := OrderedStream(workers, n,
+		func(i int) (int, error) {
+			lead := produced.Add(1) - consumed.Load()
+			for {
+				old := maxLead.Load()
+				if lead <= old || maxLead.CompareAndSwap(old, lead) {
+					break
+				}
+			}
+			return i, nil
+		},
+		func(i int, v int) error {
+			time.Sleep(100 * time.Microsecond) // slow consumer forces backpressure
+			consumed.Add(1)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-flight produce calls can momentarily exceed the undelivered window
+	// by the worker count itself; workers + (workers+1) is the hard cap.
+	if lead := maxLead.Load(); lead > int64(2*workers+1) {
+		t.Fatalf("produced-but-unconsumed lead reached %d, cap %d", lead, 2*workers+1)
+	}
+}
+
+// TestOrderedStreamProduceError asserts the lowest-index produce error
+// wins: items before it are consumed, items after are not delivered.
+func TestOrderedStreamProduceError(t *testing.T) {
+	boom := errors.New("boom")
+	var got []int
+	err := OrderedStream(4, 100,
+		func(i int) (int, error) {
+			if i == 37 {
+				return 0, boom
+			}
+			return i, nil
+		},
+		func(i int, v int) error { got = append(got, i); return nil })
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if len(got) != 37 {
+		t.Fatalf("consumed %d items before the error, want 37", len(got))
+	}
+	for i, v := range got {
+		if i != v {
+			t.Fatalf("out of order at %d: %d", i, v)
+		}
+	}
+}
+
+// TestOrderedStreamConsumeError asserts a consume error cancels the stream
+// and is returned, with no further deliveries.
+func TestOrderedStreamConsumeError(t *testing.T) {
+	stop := errors.New("stop")
+	delivered := 0
+	err := OrderedStream(4, 1000,
+		func(i int) (int, error) { return i, nil },
+		func(i int, v int) error {
+			delivered++
+			if i == 10 {
+				return stop
+			}
+			return nil
+		})
+	if err != stop {
+		t.Fatalf("err = %v, want stop", err)
+	}
+	if delivered != 11 {
+		t.Fatalf("delivered %d, want 11", delivered)
+	}
+}
+
+// TestOrderedStreamPanicPropagates asserts a produce panic is re-raised on
+// the calling goroutine after the pool drains.
+func TestOrderedStreamPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "kaboom" {
+			t.Fatalf("recovered %v, want kaboom", r)
+		}
+	}()
+	_ = OrderedStream(4, 100,
+		func(i int) (int, error) {
+			if i == 20 {
+				panic("kaboom")
+			}
+			return i, nil
+		},
+		func(i int, v int) error { return nil })
+}
+
+// TestOrderedStreamSequentialWhenOneWorker asserts workers=1 interleaves
+// produce and consume on the calling goroutine with no pool: produce(i+1)
+// must not start before consume(i) returns.
+func TestOrderedStreamSequentialWhenOneWorker(t *testing.T) {
+	var trace []string
+	err := OrderedStream(1, 3,
+		func(i int) (int, error) { trace = append(trace, fmt.Sprintf("p%d", i)); return i, nil },
+		func(i int, v int) error { trace = append(trace, fmt.Sprintf("c%d", i)); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "p0 c0 p1 c1 p2 c2"
+	if got := strings.Join(trace, " "); got != want {
+		t.Fatalf("trace = %q, want %q", got, want)
+	}
 }

@@ -60,7 +60,7 @@ func randomInput(rng *rand.Rand) Input {
 			inst[i] += sess[i]
 		}
 		templates[t] = Template{
-			ID:      sqltemplate.ID(rune('A' + t%26)) + sqltemplate.ID(rune('A'+t/26)),
+			ID:      sqltemplate.ID(rune('A'+t%26)) + sqltemplate.ID(rune('A'+t/26)),
 			Exec:    exec,
 			Session: sess,
 			Impact:  rng.NormFloat64(),

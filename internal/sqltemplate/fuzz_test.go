@@ -9,9 +9,37 @@ package sqltemplate
 // (the Makefile's fuzz-smoke target runs a 10 s slice in CI).
 
 import (
+	"strings"
 	"testing"
 	"unicode/utf8"
 )
+
+// normalizeReference is the pre-pooling shape of Normalize: a fresh token
+// slice per call and an always-copy IN-list collapse. The fuzzer holds the
+// pooled fast path to this oracle so scratch-slice reuse and the
+// copy-on-write collapse can never drift from the simple semantics.
+func normalizeReference(sql string) string {
+	tokens := tokenize(sql) // fresh allocation per call
+	out := make([]string, 0, len(tokens))
+	i := 0
+	for i < len(tokens) {
+		if run := inListRun(tokens, i); run > 0 {
+			out = append(out, "IN", "(", Placeholder, ")")
+			i += run
+			continue
+		}
+		out = append(out, tokens[i])
+		i++
+	}
+	var b strings.Builder
+	for i, tok := range out {
+		if i > 0 && needsSpace(out[i-1], tok) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(tok)
+	}
+	return b.String()
+}
 
 func FuzzNormalize(f *testing.F) {
 	seeds := []string{
@@ -48,6 +76,23 @@ func FuzzNormalize(f *testing.F) {
 		twice := Normalize(once)
 		if once != twice {
 			t.Errorf("not idempotent:\n in: %q\n 1x: %q\n 2x: %q", sql, once, twice)
+		}
+
+		// The pooled-scratch fast path must match the fresh-allocation
+		// reference pipeline exactly.
+		if ref := normalizeReference(sql); once != ref {
+			t.Errorf("pooled path diverged from reference:\n in: %q\n pooled: %q\n ref: %q", sql, once, ref)
+		}
+
+		// The stack-buffer keyword and function-name lookups must agree
+		// with the strings.ToUpper folding they replace, on any string.
+		wantUp := strings.ToUpper(sql)
+		if kw, ok := keywordToken(sql); ok != keywords[wantUp] || (ok && kw != wantUp) {
+			t.Errorf("keywordToken(%q) = (%q, %v); ToUpper reference = (%q, %v)",
+				sql, kw, ok, wantUp, keywords[wantUp])
+		}
+		if got, want := isFunctionName(sql), funcNames[wantUp]; got != want {
+			t.Errorf("isFunctionName(%q) = %v, ToUpper reference %v", sql, got, want)
 		}
 
 		// Equal templates hash to equal IDs, and New is consistent with

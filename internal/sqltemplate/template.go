@@ -6,8 +6,8 @@
 package sqltemplate
 
 import (
-	"hash/fnv"
 	"strings"
+	"sync"
 	"unicode"
 	"unicode/utf8"
 )
@@ -25,13 +25,29 @@ type Template struct {
 	Text string // normalized statement with literals replaced by '?'
 }
 
+// normScratch is the per-call working set of Normalize: the token slice and
+// the IN-list collapse buffer. Pooling it makes steady-state normalization
+// allocate only the returned string — the token slices themselves are
+// reused across calls (they hold substrings of past inputs between uses,
+// which is fine: inputs are log-record SQL that outlives the call anyway).
+type normScratch struct {
+	tokens []string
+	out    []string
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(normScratch) }}
+
 // Normalize rewrites a SQL statement into its template text: string and
 // numeric literals become '?', IN (...) lists collapse to IN (?), whitespace
 // is squeezed, and keywords are uppercased outside of (former) literals.
 // Normalization is idempotent: Normalize(Normalize(s)) == Normalize(s).
 func Normalize(sql string) string {
-	tokens := tokenize(sql)
-	tokens = collapseInLists(tokens)
+	sc := scratchPool.Get().(*normScratch)
+	sc.tokens = appendTokens(sc.tokens[:0], sql)
+	tokens, copied := collapseInListsInto(sc.out[:0], sc.tokens)
+	if copied {
+		sc.out = tokens
+	}
 	var b strings.Builder
 	b.Grow(len(sql))
 	for i, tok := range tokens {
@@ -40,6 +56,7 @@ func Normalize(sql string) string {
 		}
 		b.WriteString(tok)
 	}
+	scratchPool.Put(sc)
 	return b.String()
 }
 
@@ -49,12 +66,16 @@ func New(sql string) Template {
 	return Template{ID: HashID(text), Text: text}
 }
 
-// HashID computes the SQL ID of already-normalized template text.
+// HashID computes the SQL ID of already-normalized template text. The FNV-1a
+// round is inlined (rather than hash/fnv) so the only allocation is the
+// returned 8-byte ID itself — no hasher object, no []byte(normalized) copy.
 func HashID(normalized string) ID {
-	h := fnv.New32a()
-	h.Write([]byte(normalized))
+	sum := uint32(2166136261) // FNV-1a offset basis
+	for i := 0; i < len(normalized); i++ {
+		sum ^= uint32(normalized[i])
+		sum *= 16777619 // FNV prime
+	}
 	const hexdigits = "0123456789ABCDEF"
-	sum := h.Sum32()
 	var buf [8]byte
 	for i := 7; i >= 0; i-- {
 		buf[i] = hexdigits[sum&0xF]
@@ -63,11 +84,18 @@ func HashID(normalized string) ID {
 	return ID(buf[:])
 }
 
-// tokenize splits SQL into normalized tokens: keywords/identifiers
-// (uppercased keywords, identifiers preserved), literals (replaced by '?'),
-// and punctuation.
+// tokenize splits SQL into normalized tokens; it is appendTokens with a
+// fresh slice, kept for tests and one-off callers.
 func tokenize(sql string) []string {
-	var tokens []string
+	return appendTokens(nil, sql)
+}
+
+// appendTokens appends the normalized tokens of sql onto tokens:
+// keywords/identifiers (uppercased keywords, identifiers preserved),
+// literals (replaced by '?'), and punctuation. Passing a recycled
+// zero-length slice makes tokenization allocation-free once the backing
+// array has grown to the statement's token count.
+func appendTokens(tokens []string, sql string) []string {
 	i := 0
 	n := len(sql)
 	for i < n {
@@ -125,8 +153,8 @@ func tokenize(sql string) []string {
 				j++
 			}
 			word := sql[i:j]
-			if isKeyword(word) {
-				tokens = append(tokens, strings.ToUpper(word))
+			if kw, ok := keywordToken(word); ok {
+				tokens = append(tokens, kw)
 			} else {
 				tokens = append(tokens, word)
 			}
@@ -197,36 +225,57 @@ func skipNumber(sql string, i int) int {
 	return j
 }
 
-// collapseInLists rewrites "IN ( ? , ? , ? )" token runs into "IN ( ? )" so
-// queries differing only in IN-list arity share a template.
-func collapseInLists(tokens []string) []string {
-	out := make([]string, 0, len(tokens))
+// collapseInListsInto rewrites "IN ( ? , ? , ? )" token runs into
+// "IN ( ? )" so queries differing only in IN-list arity share a template.
+// It is copy-on-write: most statements have no collapsible list, and for
+// those the input slice is returned as-is (copied == false) without
+// touching dst. When a collapse is needed, the result is built in dst
+// (which must be a zero-length slice the caller owns) and copied == true.
+func collapseInListsInto(dst, tokens []string) (out []string, copied bool) {
 	i := 0
 	for i < len(tokens) {
-		if strings.EqualFold(tokens[i], "IN") && i+2 < len(tokens) && tokens[i+1] == "(" {
-			// Check that the parenthesized run is only placeholders and commas.
-			j := i + 2
-			onlyPlaceholders := false
-			for j < len(tokens) {
-				if tokens[j] == ")" {
-					onlyPlaceholders = j > i+2
-					break
-				}
-				if tokens[j] != Placeholder && tokens[j] != "," {
-					break
-				}
-				j++
+		if run := inListRun(tokens, i); run > 0 {
+			if !copied {
+				dst = append(dst, tokens[:i]...)
+				copied = true
 			}
-			if onlyPlaceholders && j < len(tokens) && tokens[j] == ")" {
-				out = append(out, "IN", "(", Placeholder, ")")
-				i = j + 1
-				continue
-			}
+			dst = append(dst, "IN", "(", Placeholder, ")")
+			i += run
+			continue
 		}
-		out = append(out, tokens[i])
+		if copied {
+			dst = append(dst, tokens[i])
+		}
 		i++
 	}
-	return out
+	if !copied {
+		return tokens, false
+	}
+	return dst, true
+}
+
+// inListRun reports the length in tokens of a collapsible
+// "IN ( ? [, ?]... )" run starting at i, or 0 if tokens[i] does not start
+// one. The parenthesized run must be non-empty and contain only
+// placeholders and commas.
+func inListRun(tokens []string, i int) int {
+	if !strings.EqualFold(tokens[i], "IN") || i+2 >= len(tokens) || tokens[i+1] != "(" {
+		return 0
+	}
+	j := i + 2
+	for j < len(tokens) {
+		if tokens[j] == ")" {
+			if j > i+2 {
+				return j + 1 - i
+			}
+			return 0
+		}
+		if tokens[j] != Placeholder && tokens[j] != "," {
+			return 0
+		}
+		j++
+	}
+	return 0
 }
 
 // needsSpace decides whether two adjacent tokens need a separating space in
@@ -248,15 +297,40 @@ func needsSpace(prev, cur string) bool {
 	return true
 }
 
+// funcNames is the set of SQL functions that render with a tight opening
+// parenthesis: COUNT(*), SUM(x).
+var funcNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"COALESCE": true, "IFNULL": true, "NOW": true, "DATE": true,
+	"LENGTH": true, "LOWER": true, "UPPER": true, "SUBSTR": true,
+	"CONCAT": true,
+}
+
+const maxFuncLen = len("COALESCE")
+
 // isFunctionName reports whether tok is a SQL function that renders with a
-// tight opening parenthesis.
+// tight opening parenthesis. ASCII tokens are uppercased into a stack
+// buffer so the per-token check in the render loop never allocates; rare
+// non-ASCII tokens fall back to strings.ToUpper, which matches the
+// Unicode case-folding the pre-pooling implementation applied.
 func isFunctionName(tok string) bool {
-	switch strings.ToUpper(tok) {
-	case "COUNT", "SUM", "AVG", "MIN", "MAX", "COALESCE", "IFNULL",
-		"NOW", "DATE", "LENGTH", "LOWER", "UPPER", "SUBSTR", "CONCAT":
-		return true
+	for i := 0; i < len(tok); i++ {
+		if tok[i] >= utf8.RuneSelf {
+			return funcNames[strings.ToUpper(tok)]
+		}
 	}
-	return false
+	if len(tok) > maxFuncLen {
+		return false
+	}
+	var buf [maxFuncLen]byte
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	return funcNames[string(buf[:len(tok)])]
 }
 
 func isWordToken(tok string) bool {
@@ -336,4 +410,46 @@ var keywords = map[string]bool{
 	"TRUNCATE": true, "REPLACE": true, "LOCK": true, "UNLOCK": true,
 }
 
-func isKeyword(word string) bool { return keywords[strings.ToUpper(word)] }
+// keywordCanon maps an uppercase keyword to its canonical (interned) string
+// so the tokenizer can emit the uppercase form without allocating.
+var keywordCanon = func() map[string]string {
+	m := make(map[string]string, len(keywords))
+	for k := range keywords {
+		m[k] = k
+	}
+	return m
+}()
+
+const maxKeywordLen = len("REFERENCES")
+
+// keywordToken reports whether word is a SQL keyword and, if so, returns
+// its canonical uppercase token. ASCII words (the only kind the workload
+// emits) are uppercased into a stack buffer — zero allocations. Non-ASCII
+// words fall back to strings.ToUpper before the lookup, preserving the
+// exact Unicode case-folding behavior of the pre-pooling implementation
+// (e.g. a dotless ı uppercases to ASCII I); the fallback must run before
+// any length check because Unicode uppercasing can shrink byte length.
+func keywordToken(word string) (string, bool) {
+	for i := 0; i < len(word); i++ {
+		if word[i] >= utf8.RuneSelf {
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				return up, true
+			}
+			return "", false
+		}
+	}
+	if len(word) > maxKeywordLen {
+		return "", false
+	}
+	var buf [maxKeywordLen]byte
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	canon, ok := keywordCanon[string(buf[:len(word)])]
+	return canon, ok
+}
