@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz-smoke bench-parallel bench-logstore bench-gen clean
+.PHONY: all build test race vet fuzz-smoke bench-parallel bench-logstore bench-gen bench-fleet smoke-serve clean
 
 all: build vet test
 
@@ -49,6 +49,17 @@ bench-logstore:
 # BENCH_gen.json.
 bench-gen:
 	$(GO) run ./cmd/pinsql-bench -exp gen -small -seed 3
+
+# Fleet throughput sweep: instance counts × scheduler workers through the
+# full multi-instance monitoring pipeline (windows/sec, shed rate, peak
+# queue depth). Writes BENCH_fleet.json.
+bench-fleet:
+	$(GO) run ./cmd/pinsql-bench -exp fleet -small -seed 3
+
+# Control-plane smoke: boot pinsqld -serve with a 4-instance fleet, curl
+# /fleet and /metrics, then SIGTERM and assert a clean drain (exit 0).
+smoke-serve:
+	./scripts/smoke_serve.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,219 +1,142 @@
-// Command pinsqld is the autonomous diagnosing daemon: it continuously
-// monitors a (simulated) cloud database instance through the full PinSQL
+// Command pinsqld is the autonomous diagnosing daemon: it monitors one or
+// many (simulated) cloud database instances through the full PinSQL
 // pipeline — streaming collection via the broker, windowed aggregation,
 // round-the-clock anomaly detection, diagnosis on detection, and
 // (optionally) automatic repairing actions — mirroring the production
-// deployment of Fig. 2.
+// deployment of Fig. 2, where one diagnosis cluster multiplexes a fleet
+// of RDS instances.
 //
 // Each monitoring window simulates `-window` seconds of instance time; a
-// random anomaly is injected every few windows so the pipeline has work.
+// deterministic incident rotation injects an anomaly every other window so
+// the pipeline has work.
 //
-// With -data-dir the query-log store and template registry live on disk
-// (internal/logstore/segment): a restart reopens the store, replays the
-// registry snapshot + delta log, and resumes monitoring after the last
-// persisted record, so diagnosis history survives process death. Without
-// it everything is in memory, as before.
+// With -data-dir every instance's query-log store, template registry, and
+// committed-window journal live on disk (internal/logstore/segment): a
+// restart — even after SIGKILL — resumes every instance at its last
+// committed window and runs the remainder of its `-windows` target,
+// reproducing the uninterrupted run byte for byte.
+//
+// With -serve the process exposes an HTTP control plane (fleet status,
+// per-instance diagnoses, Prometheus metrics, pprof) and runs until
+// SIGTERM/SIGINT, which triggers a graceful drain: queued windows are
+// diagnosed and committed, durable topics are sealed, and the process
+// exits 0.
 //
 // Usage:
 //
 //	pinsqld -windows 6 -window 1200 -auto-repair
-//	pinsqld -data-dir /var/lib/pinsql -windows 6   # durable, resumable
+//	pinsqld -data-dir /var/lib/pinsql -windows 6     # durable, resumable
+//	pinsqld -instances 8 -serve :8080                # fleet + control plane
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
-	"pinsql/internal/anomaly"
-	"pinsql/internal/collect"
-	"pinsql/internal/core"
-	"pinsql/internal/dbsim"
-	"pinsql/internal/logstore"
-	"pinsql/internal/logstore/segment"
-	"pinsql/internal/repair"
-	"pinsql/internal/session"
-	"pinsql/internal/sqltemplate"
-	"pinsql/internal/timeseries"
-	"pinsql/internal/workload"
+	"pinsql/internal/fleet"
 )
-
-// topicName is the log-store topic of the monitored instance.
-const topicName = "pinsqld"
 
 func main() {
 	var (
-		windows    = flag.Int("windows", 4, "number of monitoring windows to run")
+		instances  = flag.Int("instances", 1, "number of simulated instances to monitor")
+		windows    = flag.Int("windows", 4, "monitoring windows each instance should have committed in total (a restarted run finishes the remainder)")
 		windowSec  = flag.Int("window", 1200, "window length in simulated seconds")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		autoRepair = flag.Bool("auto-repair", false, "execute suggested repairing actions")
-		workers    = flag.Int("workers", 0, "diagnosis worker pool (0 = GOMAXPROCS, 1 = sequential)")
-		dataDir    = flag.String("data-dir", "", "directory for the durable log store (empty = in-memory)")
+		workers    = flag.Int("workers", 0, "scheduler worker pool (0 = GOMAXPROCS, 1 = sequential)")
+		queueDepth = flag.Int("queue-depth", 8, "staged windows per instance before diagnosis shedding")
+		dataDir    = flag.String("data-dir", "", "directory for the durable per-instance stores (empty = in-memory)")
 		syncEvery  = flag.Int("sync-every", 0, "fsync the log-store wal every N records (0 = only at seal/close; process-crash safe either way)")
+		serve      = flag.String("serve", "", "address for the HTTP control plane (empty = run to completion and exit)")
 	)
 	flag.Parse()
 
-	if err := run(*windows, *windowSec, *seed, *autoRepair, *workers, *dataDir, *syncEvery); err != nil {
+	opt := fleet.Options{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		DataDir:    *dataDir,
+		SyncEvery:  *syncEvery,
+	}
+	if err := run(*instances, *windows, *windowSec, *seed, *autoRepair, opt, *serve); err != nil {
 		fmt.Fprintln(os.Stderr, "pinsqld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(windows, windowSec int, seed int64, autoRepair bool, workers int, dataDir string, syncEvery int) error {
-	world := workload.DefaultWorld(seed)
-	world.AddFillerServices(3, 6)
-	cfg := dbsim.DefaultConfig()
-	cfg.Seed = seed
-	inst := dbsim.NewInstance(cfg)
-	world.Apply(inst)
-
-	// Storage backend: in-memory by default; with -data-dir, the durable
-	// segment store plus restart replay of the persisted registry, and
-	// monitoring resumes after the last persisted record.
-	var (
-		registry *collect.Registry
-		store    logstore.Backend
-		baseMs   int64
-	)
-	if dataDir == "" {
-		registry = collect.NewRegistry()
-		store = logstore.New(0)
+func run(instances, windows, windowSec int, seed int64, autoRepair bool, opt fleet.Options, serve string) error {
+	var specs []fleet.InstanceSpec
+	if instances <= 1 {
+		specs = []fleet.InstanceSpec{fleet.DefaultSpec("pinsqld", seed, windows, windowSec)}
 	} else {
-		seg, err := segment.Open(dataDir, segment.Options{SyncEvery: syncEvery})
-		if err != nil {
-			return err
-		}
-		defer func() {
-			if err := seg.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, "pinsqld: closing store:", err)
-			}
-		}()
-		if registry, err = collect.OpenRegistry(seg); err != nil {
-			return err
-		}
-		store = seg
-		if _, maxMs, ok := seg.Bounds(topicName); ok {
-			// Resume on the window boundary after the newest record.
-			windowMs := int64(windowSec) * 1000
-			baseMs = (maxMs/windowMs + 1) * windowMs
-			fmt.Printf("recovered %s: %d records (through %d s), %d templates; resuming at window %d\n",
-				dataDir, seg.Len(topicName), maxMs/1000, registry.Len(), baseMs/windowMs)
-		} else {
-			fmt.Printf("opened %s: empty store, %d templates\n", dataDir, registry.Len())
-		}
+		specs = fleet.DefaultFleet(instances, seed, windows, windowSec)
 	}
-	broker := collect.NewBroker()
-	defer broker.Close()
-	det := anomaly.NewDetector(anomaly.Config{})
-	mod := repair.New(repair.DefaultConfig(), repair.DefaultOptimizer())
-	diagCfg := core.DefaultConfig()
-	diagCfg.Workers = workers
-
-	anomalies := []func(from, to int64){
-		func(from, to int64) { world.InjectBusinessSpike(world.Services[2], 40, from, to) },
-		func(from, to int64) { world.InjectLockStorm(world.Services[2], "orders", 7, from, to) },
-		func(from, to int64) { world.InjectMDL("orders", from, (to-from)/2) },
+	for i := range specs {
+		specs[i].AutoRepair = autoRepair
 	}
 
-	for w := 0; w < windows; w++ {
-		fromMs := baseMs + int64(w*windowSec)*1000
-		toMs := baseMs + int64((w+1)*windowSec)*1000
-		fmt.Printf("=== window %d: [%d, %d) s ===\n", w, fromMs/1000, toMs/1000)
-
-		// Every other window gets an injected incident.
-		if w%2 == 1 {
-			as := fromMs + int64(windowSec)*1000/3
-			ae := as + int64(windowSec)*1000/4
-			anomalies[(w/2)%len(anomalies)](as, ae)
-			fmt.Printf("  (injected incident over [%d, %d) s)\n", as/1000, ae/1000)
+	// One progress line per committed window, as the scheduler drains.
+	opt.OnCommit = func(id string, rep *fleet.WindowReport) {
+		line := fmt.Sprintf("%s window %d [%d, %d)s: records=%d anomalies=%d",
+			id, rep.Window, rep.FromMs/1000, rep.ToMs/1000, rep.Records, len(rep.Anomalies))
+		if rep.Injected != "" {
+			line += " injected=" + rep.Injected
 		}
-
-		// Streaming collection: instance → broker → aggregator.
-		lostBefore := broker.Dropped(topicName)
-		coll := collect.NewCollector(topicName, fromMs, toMs, registry, store)
-		ch, cancel := broker.Subscribe(topicName, 4096)
-		done := collect.NewStreamAggregator(coll).Consume(ch)
-		secs, err := inst.Run(dbsim.RunOptions{
-			StartMs: fromMs,
-			EndMs:   toMs,
-			Source:  world.Source(fromMs, toMs, seed+int64(w)),
-			Sink:    broker.Sink(topicName),
-		})
-		cancel()
-		<-done
-		if err != nil {
-			return err
+		if rep.Shed {
+			line += " SHED"
 		}
-		coll.IngestMetrics(secs)
-		snap := coll.Snapshot()
-		store.Expire(toMs) // keep the log store within its TTL budget
-		if lost := broker.Dropped(topicName) - lostBefore; lost > 0 {
-			// Backpressure loss: the aggregator fell behind the producer
-			// and records were shed at the broker (by design — never slow
-			// the instance). Surfaced so a DBA can size the buffer.
-			fmt.Printf("  (broker dropped %d records under backpressure)\n", lost)
-		}
-
-		// Round-the-clock detection.
-		phenomena := det.DetectPhenomena(map[string]timeseries.Series{
-			anomaly.MetricActiveSession: snap.ActiveSession,
-			anomaly.MetricCPUUsage:      snap.CPUUsage,
-			anomaly.MetricIOPSUsage:     snap.IOPSUsage,
-		}, anomaly.DefaultRules())
-		if len(phenomena) == 0 {
-			fmt.Printf("  no anomalies (mean session %.2f, cpu %.1f%%)\n\n",
-				snap.ActiveSession.Mean(), snap.CPUUsage.Mean())
-			continue
-		}
-
-		for _, ph := range phenomena {
-			fmt.Printf("  ANOMALY %s [%d, %d) s\n", ph.Rule, int(fromMs/1000)+ph.Start, int(fromMs/1000)+ph.End)
-			c := anomaly.NewCase(snap, ph)
-			d := core.Diagnose(c, queriesOf(coll, snap), diagCfg)
-			if len(d.RSQLs) == 0 {
-				fmt.Println("    no R-SQL pinpointed")
-				continue
-			}
-			top := d.RSQLs[0]
-			fmt.Printf("    R-SQL: %s (score %.2f, verified %v)\n", top.ID, top.Score, top.Verified)
-			if ts := snap.Template(top.ID); ts != nil {
-				fmt.Printf("    statement: %s\n", ts.Meta.Text)
-			}
-			sugg := mod.Suggest(c, []sqltemplate.ID{top.ID})
-			env := repair.Environment{
-				Throttler: inst,
-				Scaler:    inst,
-				SpecOf: func(id sqltemplate.ID) repair.Optimizable {
-					if spec := world.SpecByID(id); spec != nil {
-						return spec
-					}
-					return nil
-				},
-				AutoExecute: autoRepair,
-			}
-			for _, s := range mod.Execute(env, sugg) {
-				state := "suggested"
-				if s.Executed {
-					state = "EXECUTED"
-				}
-				fmt.Printf("    action %-9s %s (rule %s, value %.1f)\n", s.Action, state, s.Rule, s.Value)
-			}
-		}
-		fmt.Println()
+		fmt.Println(line)
 	}
-	return nil
-}
 
-func queriesOf(coll *collect.Collector, snap *collect.Snapshot) session.Queries {
-	out := make(session.Queries)
-	reg := coll.Registry()
-	// Stream the window instead of materializing a copy of every record:
-	// the diagnosis window can span millions of observations.
-	coll.Store().ScanFunc(snap.Topic, snap.StartMs, snap.StartMs+int64(snap.Seconds)*1000,
-		func(r logstore.Record) bool {
-			id := reg.At(r.TemplateIdx).ID
-			out[id] = append(out[id], session.Obs{ArrivalMs: r.ArrivalMs, ResponseMs: r.ResponseMs})
-			return true
-		})
-	return out
+	f, err := fleet.New(specs, opt)
+	if err != nil {
+		return err
+	}
+	for _, is := range f.Status().Instances {
+		if is.Committed > 0 {
+			fmt.Printf("%s: recovered %d committed windows, resuming at window %d\n",
+				is.ID, is.Committed, is.Committed)
+		}
+	}
+
+	if serve == "" {
+		f.Start()
+		werr := f.Wait()
+		fmt.Print(f.Report())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		return werr
+	}
+
+	ln, err := net.Listen("tcp", serve)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	srv := &http.Server{Handler: f.Handler()}
+	go srv.Serve(ln)
+	fmt.Printf("control plane on http://%s (GET /fleet, /instances/{id}/diagnoses, /metrics, /debug/pprof/)\n", ln.Addr())
+
+	f.Start()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	// Serve until asked to stop — a finished fleet keeps its control plane
+	// up so status, diagnoses, and metrics stay queryable.
+	s := <-sig
+	fmt.Printf("received %s, draining fleet\n", s)
+	werr := f.Stop()
+	fmt.Print(f.Report())
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && werr == nil {
+		werr = err
+	}
+	return werr
 }

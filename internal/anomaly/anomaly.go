@@ -263,7 +263,15 @@ func (d *Detector) DetectPhenomena(metrics map[string]timeseries.Series, rules [
 			kept = append(kept, p)
 		}
 	}
-	sort.Slice(kept, func(i, j int) bool { return kept[i].Start < kept[j].Start })
+	// Stable with a rule tiebreak: phenomena order must be a pure function
+	// of the input (diagnosis reports are compared byte-for-byte across
+	// runs), and an unstable sort reorders equal-Start entries at random.
+	sort.SliceStable(kept, func(i, j int) bool {
+		if kept[i].Start != kept[j].Start {
+			return kept[i].Start < kept[j].Start
+		}
+		return kept[i].Rule < kept[j].Rule
+	})
 	return kept
 }
 
@@ -330,9 +338,15 @@ func (d *Detector) mergePhenomena(ps []Phenomenon) []Phenomenon {
 	for _, p := range ps {
 		byRule[p.Rule] = append(byRule[p.Rule], p)
 	}
+	rules := make([]string, 0, len(byRule))
+	for rule := range byRule {
+		rules = append(rules, rule)
+	}
+	sort.Strings(rules)
 	var out []Phenomenon
-	for _, group := range byRule {
-		sort.Slice(group, func(i, j int) bool { return group[i].Start < group[j].Start })
+	for _, rule := range rules {
+		group := byRule[rule]
+		sort.SliceStable(group, func(i, j int) bool { return group[i].Start < group[j].Start })
 		cur := group[0]
 		for _, p := range group[1:] {
 			if p.Start-cur.End <= d.cfg.MergeGapSec {

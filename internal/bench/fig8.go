@@ -5,13 +5,12 @@ import (
 	"strings"
 
 	"pinsql/internal/anomaly"
+	"pinsql/internal/cases"
 	"pinsql/internal/collect"
 	"pinsql/internal/core"
 	"pinsql/internal/dbsim"
-	"pinsql/internal/logstore"
 	"pinsql/internal/rank"
 	"pinsql/internal/repair"
-	"pinsql/internal/session"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/timeseries"
 	"pinsql/internal/workload"
@@ -128,7 +127,7 @@ func RunFig8(seed int64) (*Fig8, error) {
 	snapshot = coll.Snapshot()
 	ph := fig8Phenomenon(snapshot)
 	c := anomaly.NewCase(snapshot, ph)
-	d := core.Diagnose(c, queriesFromCollector(coll, snapshot), core.DefaultConfig())
+	d := core.Diagnose(c, cases.QueriesOf(coll, snapshot), core.DefaultConfig())
 	if len(d.RSQLs) > 0 {
 		out.PinpointedRSQL = d.RSQLs[0].ID
 	}
@@ -191,18 +190,6 @@ func fig8Phenomenon(snap *collect.Snapshot) anomaly.Phenomenon {
 		}
 	}
 	return best
-}
-
-func queriesFromCollector(coll *collect.Collector, snap *collect.Snapshot) session.Queries {
-	out := make(session.Queries)
-	reg := coll.Registry()
-	coll.Store().ScanFunc(snap.Topic, snap.StartMs, snap.StartMs+int64(snap.Seconds)*1000,
-		func(r logstore.Record) bool {
-			id := reg.At(r.TemplateIdx).ID
-			out[id] = append(out[id], session.Obs{ArrivalMs: r.ArrivalMs, ResponseMs: r.ResponseMs})
-			return true
-		})
-	return out
 }
 
 // Format renders the timeline summary.

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"pinsql/internal/fleet"
+	"pinsql/internal/parallel"
+)
+
+// FleetBenchOptions configures the fleet-throughput sweep.
+type FleetBenchOptions struct {
+	Seed    int64
+	Windows int  // windows per instance; 0 → 3 (2 when Small)
+	Small   bool // CI-sized: fewer/shorter windows, smaller sweep
+}
+
+// FleetBenchRow is one (instances × workers) cell of the sweep.
+type FleetBenchRow struct {
+	Instances     int     `json:"instances"`
+	Workers       int     `json:"workers"`
+	Windows       int     `json:"windows"` // committed across the fleet
+	WallSec       float64 `json:"wall_sec"`
+	WindowsPerSec float64 `json:"windows_per_sec"`
+	ShedRate      float64 `json:"shed_rate"` // shed windows / committed windows
+	PeakQueue     int     `json:"peak_queue"`
+	Records       int64   `json:"records"`
+	Dropped       int64   `json:"dropped"` // broker backpressure loss
+}
+
+// FleetBench is the document behind BENCH_fleet.json: how fleet throughput
+// scales with instance count and scheduler workers, and what the bounded
+// queues shed along the way.
+type FleetBench struct {
+	WindowSec int             `json:"window_sec"`
+	Rows      []FleetBenchRow `json:"rows"`
+}
+
+// RunFleetBench sweeps instance counts × scheduler worker counts over the
+// in-memory fleet and measures end-to-end monitoring throughput.
+func RunFleetBench(opt FleetBenchOptions) (*FleetBench, error) {
+	instanceCounts := []int{1, 8, 64}
+	workerCounts := []int{1, 2, parallel.Resolve(0)}
+	windowSec := 300
+	windows := opt.Windows
+	if windows <= 0 {
+		windows = 3
+	}
+	if opt.Small {
+		instanceCounts = []int{1, 4, 8}
+		windowSec = 120
+		if opt.Windows <= 0 {
+			windows = 2
+		}
+	}
+	seen := map[int]bool{}
+	workers := workerCounts[:0]
+	for _, w := range workerCounts {
+		if !seen[w] {
+			seen[w] = true
+			workers = append(workers, w)
+		}
+	}
+
+	out := &FleetBench{WindowSec: windowSec}
+	for _, n := range instanceCounts {
+		for _, w := range workers {
+			specs := fleet.DefaultFleet(n, opt.Seed, windows, windowSec)
+			f, err := fleet.New(specs, fleet.Options{Workers: w, QueueDepth: 4})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			f.Start()
+			if err := f.Wait(); err != nil {
+				f.Close()
+				return nil, err
+			}
+			wall := time.Since(start).Seconds()
+			st := f.Status()
+			row := FleetBenchRow{
+				Instances: n,
+				Workers:   w,
+				Windows:   st.Committed,
+				WallSec:   wall,
+				ShedRate:  float64(st.Shed) / float64(max(st.Committed, 1)),
+			}
+			if wall > 0 {
+				row.WindowsPerSec = float64(st.Committed) / wall
+			}
+			for _, is := range st.Instances {
+				if is.PeakQueue > row.PeakQueue {
+					row.PeakQueue = is.PeakQueue
+				}
+				row.Records += is.Records
+				row.Dropped += is.Dropped
+			}
+			if err := f.Close(); err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Format renders the sweep as a table.
+func (b *FleetBench) Format() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "Fleet throughput sweep (%ds windows)\n", b.WindowSec)
+	s.WriteString("  instances  workers  windows   wall(s)  win/s    shed%  peakQ   records  dropped\n")
+	for _, r := range b.Rows {
+		fmt.Fprintf(&s, "  %9d  %7d  %7d  %8.2f  %5.1f  %6.1f  %5d  %8d  %7d\n",
+			r.Instances, r.Workers, r.Windows, r.WallSec, r.WindowsPerSec,
+			r.ShedRate*100, r.PeakQueue, r.Records, r.Dropped)
+	}
+	return s.String()
+}

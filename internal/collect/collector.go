@@ -84,6 +84,8 @@ type Collector struct {
 	templates map[int32]*TemplateSeries
 
 	metrics []dbsim.SecondMetrics
+
+	records int64 // raw query records archived to the store
 }
 
 // NewCollector creates a collector for the window [startMs, endMs) on the
@@ -149,6 +151,7 @@ func (c *Collector) Ingest(rec dbsim.LogRecord) {
 	ts.Count[sec]++
 	ts.SumRT[sec] += rec.ResponseMs
 	ts.SumRows[sec] += float64(rec.ExaminedRows)
+	c.records++
 	c.mu.Unlock()
 
 	// Raw record for the log store (session estimation needs per-query
@@ -217,6 +220,15 @@ func (c *Collector) Snapshot() *Snapshot {
 	// Deterministic order: by registry index.
 	sortTemplates(snap.Templates)
 	return snap
+}
+
+// Records returns the number of raw query records this collector has
+// archived to the log store (throttled statements are counted in the
+// Throttled series instead). The fleet exports it per window.
+func (c *Collector) Records() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.records
 }
 
 // QueriesOf returns the raw per-query records of one template inside

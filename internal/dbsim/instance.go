@@ -101,6 +101,15 @@ func NewInstance(cfg Config) *Instance {
 	}
 }
 
+// ReseedSampling resets the instance's metric-sampling RNG (the only
+// consumer of instance randomness — the per-second SHOW STATUS sample
+// offset). The fleet reseeds it per window so a restarted instance
+// replays a window with the exact sampling phase the killed process would
+// have used, independent of how many windows ran before the crash.
+func (in *Instance) ReseedSampling(seed int64) {
+	in.rng = rand.New(rand.NewSource(seed))
+}
+
 // CreateTable registers a table. rows is informational (the workload's cost
 // model references it); lock keys are allocated lazily per key value.
 func (in *Instance) CreateTable(name string, rows int64) {

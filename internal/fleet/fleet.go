@@ -1,0 +1,806 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"pinsql/internal/anomaly"
+	"pinsql/internal/cases"
+	"pinsql/internal/collect"
+	"pinsql/internal/core"
+	"pinsql/internal/dbsim"
+	"pinsql/internal/logstore"
+	"pinsql/internal/logstore/segment"
+	"pinsql/internal/obs"
+	"pinsql/internal/parallel"
+	"pinsql/internal/repair"
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+	"pinsql/internal/workload"
+)
+
+// Options configures a fleet.
+type Options struct {
+	// Workers sizes the shared scheduler pool (0 = GOMAXPROCS). The
+	// final report is byte-identical for every value (when no window is
+	// shed).
+	Workers int
+
+	// QueueDepth bounds each instance's staged-window queue; when a
+	// freshly simulated window arrives at a full queue, the oldest
+	// queued window is shed — it loses its diagnosis (counted in the
+	// shed metric) but its records still commit, so window numbering
+	// and the durable topic stay contiguous. Default 8.
+	QueueDepth int
+
+	// DataDir enables durable per-instance stores under
+	// DataDir/<instance>/ (a segment store plus a committed-window
+	// journal); "" keeps everything in memory.
+	DataDir string
+
+	// SyncEvery is the segment store's wal fsync policy (see
+	// segment.Options.SyncEvery).
+	SyncEvery int
+
+	// DiagnosisWorkers is the inner core.Config.Workers of each
+	// diagnosis. The fleet's parallelism comes from running instances
+	// concurrently, so the default is 1 (sequential inner pipeline — no
+	// oversubscription); diagnosis output is identical for every value.
+	DiagnosisWorkers int
+
+	// BrokerBuffer is the per-window subscription buffer between the
+	// simulator and the stream aggregator. Default 65536. Overflow drops
+	// records (counted, never blocking the simulator) — and a window
+	// with drops is no longer bit-reproducible, so size generously.
+	BrokerBuffer int
+
+	// Metrics receives the fleet's counters and gauges; nil creates a
+	// private registry (reachable via Fleet.Metrics).
+	Metrics *obs.Registry
+
+	// OnCommit, if set, is called after every committed window (from a
+	// scheduler goroutine; keep it quick).
+	OnCommit func(id string, rep *WindowReport)
+
+	// crashAt is the crash-injection test hook: returning true at a
+	// commit phase ("pre-append", "mid-append", "pre-journal",
+	// "post-journal") makes the fleet behave as if the process died
+	// there — all work stops and no file is flushed or closed cleanly.
+	crashAt func(id string, window int, phase string) bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.DiagnosisWorkers == 0 {
+		o.DiagnosisWorkers = 1
+	}
+	if o.BrokerBuffer <= 0 {
+		o.BrokerBuffer = 65536
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	return o
+}
+
+// stagedWindow is one simulated-but-not-yet-committed window.
+type stagedWindow struct {
+	window       int
+	fromMs, toMs int64
+	coll         *collect.Collector
+	staging      *logstore.Store
+	shed         bool
+
+	rep *WindowReport
+	// suggestions[i] belongs to rep.Anomalies[i]; executed at commit.
+	suggestions [][]repair.Suggestion
+}
+
+// instState is the per-tenant state machine.
+type instState struct {
+	spec     InstanceSpec
+	world    *workload.World
+	sim      *dbsim.Instance
+	registry *collect.Registry
+	store    logstore.Backend
+	seg      *segment.Store // non-nil in durable mode
+	journal  *os.File       // non-nil in durable mode
+
+	reports []*WindowReport // committed windows, len(reports) == next to commit
+
+	queue       []*stagedWindow
+	nextSim     int // next window to simulate
+	simActive   bool
+	drainActive bool
+	peakQueue   int
+	err         error
+
+	cWindows, cAnomalies, cShed, cRecords *obs.Counter
+}
+
+// Fleet monitors N instances concurrently. Create with New, launch with
+// Start, block with Wait, shut down with Stop (graceful drain) or Close.
+type Fleet struct {
+	opt     Options
+	diagCfg core.Config
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	insts map[string]*instState
+	ids   []string // sorted
+
+	pool   *parallel.Pool
+	broker *collect.Broker
+	det    *anomaly.Detector
+	mod    *repair.Module
+
+	started  bool
+	draining bool
+	dead     bool // crash hook fired: abandon all state, leave files as killed
+	closed   bool
+	closeErr error
+}
+
+// errCrashed is the internal sentinel of the crash-injection hook.
+var errCrashed = errors.New("fleet: crash hook fired")
+
+// New builds a fleet over the specs, opening (and in -data-dir mode
+// recovering) every instance: the durable topic is truncated back to the
+// last journaled window boundary, the workload world is rebuilt by
+// replaying injections and executed repair actions of every committed
+// window, and monitoring resumes at the first uncommitted window.
+func New(specs []InstanceSpec, opt Options) (*Fleet, error) {
+	opt = opt.withDefaults()
+	f := &Fleet{
+		opt:    opt,
+		insts:  make(map[string]*instState, len(specs)),
+		broker: collect.NewBroker(),
+		det:    anomaly.NewDetector(anomaly.Config{}),
+		mod:    repair.New(repair.DefaultConfig(), repair.DefaultOptimizer()),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	f.diagCfg = core.DefaultConfig()
+	f.diagCfg.Workers = opt.DiagnosisWorkers
+
+	for _, spec := range specs {
+		spec = spec.withDefaults()
+		if spec.ID == "" {
+			return nil, errors.New("fleet: instance spec without ID")
+		}
+		if _, dup := f.insts[spec.ID]; dup {
+			return nil, fmt.Errorf("fleet: duplicate instance ID %q", spec.ID)
+		}
+		st, err := f.openInstance(spec)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: instance %s: %w", spec.ID, err)
+		}
+		f.insts[spec.ID] = st
+		f.ids = append(f.ids, spec.ID)
+	}
+	f.ids = sortedIDs(f.insts)
+	f.registerMetrics()
+	return f, nil
+}
+
+// openInstance opens one instance's storage, recovers its committed
+// history, and rebuilds its world/simulator state.
+func (f *Fleet) openInstance(spec InstanceSpec) (*instState, error) {
+	st := &instState{spec: spec}
+	windowMs := int64(spec.WindowSec) * 1000
+
+	if f.opt.DataDir == "" {
+		st.registry = collect.NewRegistry()
+		st.store = logstore.New(0)
+	} else {
+		dir := filepath.Join(f.opt.DataDir, url.PathEscape(spec.ID))
+		seg, err := segment.Open(dir, segment.Options{SyncEvery: f.opt.SyncEvery})
+		if err != nil {
+			return nil, err
+		}
+		st.seg = seg
+		st.store = seg
+		if st.registry, err = collect.OpenRegistry(seg); err != nil {
+			seg.Close()
+			return nil, err
+		}
+		st.journal, st.reports, err = readJournal(filepath.Join(dir, "journal.jsonl"), windowMs)
+		if err != nil {
+			seg.Close()
+			return nil, err
+		}
+		// Discard the partially committed suffix: everything at or after
+		// the first unjournaled window boundary is replayed from scratch.
+		seg.TruncateFrom(spec.ID, int64(len(st.reports))*windowMs)
+	}
+
+	world, cfg := spec.Setup(spec.Seed)
+	st.world = world
+	st.sim = dbsim.NewInstance(cfg)
+	world.Apply(st.sim)
+
+	// Replay committed history in window order: injections first (they
+	// consume the world's RNG stream exactly as the original run did),
+	// then that window's executed repairing actions.
+	opt := repair.DefaultOptimizer()
+	for _, rep := range st.reports {
+		spec.Inject(world, rep.Window, rep.FromMs, rep.ToMs)
+		for _, a := range rep.Anomalies {
+			for _, act := range a.Actions {
+				if !act.Executed {
+					continue
+				}
+				switch act.Action {
+				case repair.ActionThrottle:
+					if act.DurationMs > 0 {
+						st.sim.SetThrottleUntil(act.Template, act.Value, rep.ToMs+act.DurationMs)
+					} else {
+						st.sim.SetThrottle(act.Template, act.Value)
+					}
+				case repair.ActionOptimize:
+					if sp := world.SpecByID(sqltemplate.ID(act.Template)); sp != nil {
+						sp.ApplyOptimization(opt.RowsFactor, opt.TimeFactor)
+					}
+				case repair.ActionAutoScale:
+					cur := st.sim.Cores()
+					target := int(float64(cur) * act.Value)
+					if target <= cur {
+						target = cur + 1
+					}
+					st.sim.SetCores(target)
+				}
+			}
+		}
+	}
+	st.nextSim = len(st.reports)
+	return st, nil
+}
+
+// registerMetrics wires the fleet's counters and callback series into the
+// obs registry.
+func (f *Fleet) registerMetrics() {
+	m := f.opt.Metrics
+	for _, id := range f.ids {
+		st := f.insts[id]
+		lbl := obs.L("instance", id)
+		st.cWindows = m.Counter("pinsql_fleet_windows_total", "Monitoring windows committed.", lbl)
+		st.cAnomalies = m.Counter("pinsql_fleet_anomalies_total", "Anomaly phenomena diagnosed.", lbl)
+		st.cShed = m.Counter("pinsql_fleet_shed_windows_total", "Windows whose diagnosis was shed under backpressure.", lbl)
+		st.cRecords = m.Counter("pinsql_fleet_records_total", "Query-log records collected.", lbl)
+		m.GaugeFunc("pinsql_fleet_queue_depth", "Staged windows awaiting diagnosis.", func() float64 {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			return float64(len(st.queue))
+		}, lbl)
+		m.CounterFunc("pinsql_registry_raw_cache_hits_total", "Template-registry raw-SQL cache hits.", func() float64 {
+			h, _, _ := st.registry.RawCacheStats()
+			return float64(h)
+		}, lbl)
+		m.CounterFunc("pinsql_registry_raw_cache_misses_total", "Template-registry raw-SQL cache misses.", func() float64 {
+			_, miss, _ := st.registry.RawCacheStats()
+			return float64(miss)
+		}, lbl)
+		id := id
+		m.CounterFunc("pinsql_broker_dropped_total", "Records dropped by the broker under backpressure.", func() float64 {
+			return float64(f.broker.Dropped(id))
+		}, obs.L("topic", id))
+	}
+}
+
+// Metrics returns the fleet's obs registry (the one behind GET /metrics).
+func (f *Fleet) Metrics() *obs.Registry { return f.opt.Metrics }
+
+// Start launches the scheduler. Idempotent.
+func (f *Fleet) Start() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.started || f.closed {
+		return
+	}
+	f.started = true
+	f.pool = parallel.NewPool(f.opt.Workers)
+	for _, id := range f.ids {
+		f.maybeScheduleSim(f.insts[id])
+	}
+}
+
+// maybeScheduleSim submits the instance's next simulator window at high
+// priority. Callers hold f.mu. At most one sim task per instance runs at
+// a time (dbsim instances are not concurrency-safe); an auto-repairing
+// instance additionally runs in lockstep with its commits, because
+// repairs mutate the world the next window simulates.
+func (f *Fleet) maybeScheduleSim(st *instState) {
+	if st.simActive || st.err != nil || f.draining || f.dead {
+		return
+	}
+	if st.nextSim >= st.spec.Windows {
+		return
+	}
+	if st.spec.AutoRepair && st.nextSim != len(st.reports) {
+		return
+	}
+	st.simActive = true
+	w := st.nextSim
+	f.pool.Submit(func() { f.runSim(st, w) })
+}
+
+// maybeScheduleDrain submits a diagnosis/commit drain at low priority.
+// Callers hold f.mu. One drain per instance at a time: windows commit
+// strictly in order.
+func (f *Fleet) maybeScheduleDrain(st *instState) {
+	if st.drainActive || st.err != nil || f.dead || len(st.queue) == 0 {
+		return
+	}
+	st.drainActive = true
+	f.pool.SubmitLow(func() { f.runDrain(st) })
+}
+
+// runSim simulates window w and stages its output, shedding the oldest
+// queued window when the queue is full — the simulator is never blocked.
+func (f *Fleet) runSim(st *instState, w int) {
+	sw, err := f.simWindow(st, w)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st.simActive = false
+	defer f.cond.Broadcast()
+	if f.dead {
+		return
+	}
+	if err != nil {
+		st.err = err
+		return
+	}
+	st.nextSim = w + 1
+	if len(st.queue) >= f.opt.QueueDepth {
+		for _, q := range st.queue {
+			if !q.shed {
+				q.shed = true
+				st.cShed.Inc()
+				break
+			}
+		}
+	}
+	st.queue = append(st.queue, sw)
+	if len(st.queue) > st.peakQueue {
+		st.peakQueue = len(st.queue)
+	}
+	f.maybeScheduleDrain(st)
+	f.maybeScheduleSim(st)
+}
+
+// simWindow runs the collect/aggregate stage of one window: the simulator
+// streams through the broker into a staging collector backed by a private
+// in-memory store; nothing durable happens here.
+func (f *Fleet) simWindow(st *instState, w int) (*stagedWindow, error) {
+	spec := st.spec
+	windowMs := int64(spec.WindowSec) * 1000
+	fromMs := int64(w) * windowMs
+	toMs := fromMs + windowMs
+
+	injected := spec.Inject(st.world, w, fromMs, toMs)
+	// Reseed the metric-sampling RNG per window so a crash-resumed run
+	// replays this window bit-identically regardless of prior history.
+	st.sim.ReseedSampling(windowSeed(spec.Seed, w))
+
+	staging := logstore.New(0)
+	coll := collect.NewCollector(spec.ID, fromMs, toMs, st.registry, staging)
+	dropBefore := f.broker.Dropped(spec.ID)
+	ch, cancel := f.broker.Subscribe(spec.ID, f.opt.BrokerBuffer)
+	done := collect.NewStreamAggregator(coll).Consume(ch)
+	secs, err := st.sim.Run(dbsim.RunOptions{
+		StartMs: fromMs,
+		EndMs:   toMs,
+		Source:  st.world.Source(fromMs, toMs, spec.Seed+int64(w)),
+		Sink:    f.broker.Sink(spec.ID),
+	})
+	cancel()
+	<-done
+	if err != nil {
+		return nil, err
+	}
+	coll.IngestMetrics(secs)
+
+	var sess, cpu float64
+	for _, s := range secs {
+		sess += s.ActiveSession
+		cpu += s.CPUUsage
+	}
+	if n := len(secs); n > 0 {
+		sess /= float64(n)
+		cpu /= float64(n)
+	}
+	return &stagedWindow{
+		window: w, fromMs: fromMs, toMs: toMs,
+		coll: coll, staging: staging,
+		rep: &WindowReport{
+			Window: w, FromMs: fromMs, ToMs: toMs,
+			Injected:    injected,
+			Records:     coll.Records(),
+			Dropped:     f.broker.Dropped(spec.ID) - dropBefore,
+			MeanSession: sess,
+			MeanCPU:     cpu,
+		},
+	}, nil
+}
+
+// runDrain pops the instance's oldest staged window, diagnoses it (unless
+// shed), and commits it.
+func (f *Fleet) runDrain(st *instState) {
+	f.mu.Lock()
+	if f.dead || len(st.queue) == 0 {
+		st.drainActive = false
+		f.cond.Broadcast()
+		f.mu.Unlock()
+		return
+	}
+	sw := st.queue[0]
+	st.queue = st.queue[1:]
+	f.mu.Unlock()
+
+	if sw.shed {
+		sw.rep.Shed = true
+	} else {
+		f.diagnose(sw)
+	}
+	err := f.commit(st, sw)
+
+	f.mu.Lock()
+	st.drainActive = false
+	switch {
+	case errors.Is(err, errCrashed):
+		f.dead = true
+	case err != nil:
+		st.err = err
+	default:
+		st.reports = append(st.reports, sw.rep)
+		st.cWindows.Inc()
+		st.cAnomalies.Add(int64(len(sw.rep.Anomalies)))
+		st.cRecords.Add(sw.rep.Records)
+		f.maybeScheduleDrain(st)
+		f.maybeScheduleSim(st)
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	if err == nil && f.opt.OnCommit != nil {
+		f.opt.OnCommit(st.spec.ID, sw.rep)
+	}
+}
+
+// diagnose runs detection and, per phenomenon, the full diagnosis
+// pipeline plus repair suggestions for the top R-SQL.
+func (f *Fleet) diagnose(sw *stagedWindow) {
+	snap := sw.coll.Snapshot()
+	phenomena := f.det.DetectPhenomena(map[string]timeseries.Series{
+		anomaly.MetricActiveSession: snap.ActiveSession,
+		anomaly.MetricCPUUsage:      snap.CPUUsage,
+		anomaly.MetricIOPSUsage:     snap.IOPSUsage,
+	}, anomaly.DefaultRules())
+	baseSec := int(sw.fromMs / 1000)
+	for _, ph := range phenomena {
+		c := anomaly.NewCase(snap, ph)
+		d := core.Diagnose(c, cases.QueriesOf(sw.coll, snap), f.diagCfg)
+		ar := AnomalyReport{Rule: ph.Rule, StartSec: baseSec + ph.Start, EndSec: baseSec + ph.End}
+		for i, cand := range d.RSQLs {
+			if i == 3 {
+				break
+			}
+			ar.RSQLs = append(ar.RSQLs, RSQLReport{ID: string(cand.ID), Score: cand.Score, Verified: cand.Verified})
+		}
+		var sugg []repair.Suggestion
+		if len(d.RSQLs) > 0 {
+			sugg = f.mod.Suggest(c, []sqltemplate.ID{d.RSQLs[0].ID})
+		}
+		sw.rep.Anomalies = append(sw.rep.Anomalies, ar)
+		sw.suggestions = append(sw.suggestions, sugg)
+	}
+}
+
+// crash consults the crash-injection hook.
+func (f *Fleet) crash(id string, window int, phase string) bool {
+	return f.opt.crashAt != nil && f.opt.crashAt(id, window, phase)
+}
+
+// commit makes one window durable and applies its repairs, strictly in
+// window order per instance:
+//
+//  1. the staged records are appended (sorted, strict) to the instance's
+//     long-term topic;
+//  2. repairing actions execute (when AutoRepair) against the live
+//     world/simulator and are recorded with their Executed flags;
+//  3. the window is journaled (fsync) — this is the commit point a
+//     restart counts;
+//  4. the store expires past-TTL records.
+//
+// A crash anywhere before (3) leaves an unjournaled suffix in the topic
+// that recovery truncates and replays; a crash after (3) loses nothing.
+func (f *Fleet) commit(st *instState, sw *stagedWindow) error {
+	id := st.spec.ID
+	if f.crash(id, sw.window, "pre-append") {
+		return errCrashed
+	}
+	var appendErr error
+	crashed := false
+	n := 0
+	sw.staging.ScanFunc(id, sw.fromMs, sw.toMs, func(r logstore.Record) bool {
+		if n == 1 && f.crash(id, sw.window, "mid-append") {
+			crashed = true
+			return false
+		}
+		if err := st.store.Append(id, r); err != nil {
+			appendErr = err
+			return false
+		}
+		n++
+		return true
+	})
+	if crashed {
+		return errCrashed
+	}
+	if appendErr != nil {
+		return appendErr
+	}
+
+	if !sw.shed {
+		for i := range sw.rep.Anomalies {
+			sugg := sw.suggestions[i]
+			if len(sugg) == 0 {
+				continue
+			}
+			env := repair.Environment{
+				Throttler: st.sim,
+				Scaler:    st.sim,
+				SpecOf: func(tid sqltemplate.ID) repair.Optimizable {
+					if sp := st.world.SpecByID(tid); sp != nil {
+						return sp
+					}
+					return nil
+				},
+				AutoExecute: st.spec.AutoRepair,
+				NowMs:       sw.toMs,
+			}
+			for _, s := range f.mod.Execute(env, sugg) {
+				sw.rep.Anomalies[i].Actions = append(sw.rep.Anomalies[i].Actions, ActionReport{
+					Rule: s.Rule, Action: s.Action, Template: string(s.Template),
+					Value: s.Value, DurationMs: s.DurationMs, Executed: s.Executed,
+				})
+			}
+		}
+	}
+
+	if f.crash(id, sw.window, "pre-journal") {
+		return errCrashed
+	}
+	if st.journal != nil {
+		if err := appendJournal(st.journal, sw.rep); err != nil {
+			return err
+		}
+	}
+	if f.crash(id, sw.window, "post-journal") {
+		return errCrashed
+	}
+	st.store.Expire(sw.toMs)
+	return nil
+}
+
+// settledLocked reports whether no further work can happen: every healthy
+// instance has drained its queue and — unless the fleet is draining —
+// simulated and committed every target window.
+func (f *Fleet) settledLocked() bool {
+	for _, st := range f.insts {
+		if st.err != nil {
+			continue
+		}
+		if st.simActive || st.drainActive || len(st.queue) > 0 {
+			return false
+		}
+		if !f.draining && st.nextSim < st.spec.Windows {
+			return false
+		}
+	}
+	return true
+}
+
+// Wait blocks until every instance has finished (or the fleet is draining
+// and the queues emptied, or the crash hook fired) and returns the first
+// instance error in ID order.
+func (f *Fleet) Wait() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.started {
+		return nil
+	}
+	for !f.dead && !f.settledLocked() {
+		f.cond.Wait()
+	}
+	for _, id := range f.ids {
+		if err := f.insts[id].err; err != nil {
+			return fmt.Errorf("instance %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// Stop is the graceful drain: no new windows are simulated, every queued
+// window is still diagnosed and committed, and the durable topics are
+// sealed and closed. Safe to call at any time, including after Wait.
+func (f *Fleet) Stop() error {
+	f.mu.Lock()
+	f.draining = true
+	for _, id := range f.ids {
+		// A lockstepped instance may be idle waiting for a commit; wake
+		// nothing — pending drains finish on their own. Broadcast so a
+		// concurrent Wait re-evaluates under the drain flag.
+		_ = id
+	}
+	f.cond.Broadcast()
+	f.mu.Unlock()
+	return f.Close()
+}
+
+// Close waits for the fleet to settle, shuts the scheduler down, seals
+// every durable topic (so restart recovery starts from sealed segments),
+// and closes all files. After a simulated crash nothing is sealed,
+// flushed, or closed — files stay exactly as the "kill" left them.
+func (f *Fleet) Close() error {
+	f.Wait()
+	f.mu.Lock()
+	if f.closed {
+		err := f.closeErr
+		f.mu.Unlock()
+		return err
+	}
+	f.closed = true
+	dead := f.dead
+	f.mu.Unlock()
+
+	if f.pool != nil {
+		f.pool.Close()
+	}
+	f.broker.Close()
+	var first error
+	for _, id := range f.ids {
+		st := f.insts[id]
+		if dead {
+			continue
+		}
+		if st.seg != nil {
+			if err := st.seg.Seal(); err != nil && first == nil {
+				first = err
+			}
+			if err := st.seg.Close(); err != nil && first == nil {
+				first = err
+			}
+		} else if st.store != nil {
+			st.store.Close()
+		}
+		if st.journal != nil {
+			if err := st.journal.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	f.mu.Lock()
+	f.closeErr = first
+	f.mu.Unlock()
+	return first
+}
+
+// Report renders every instance's committed windows, instances in ID
+// order — the determinism contract's observable artifact.
+func (f *Fleet) Report() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var b strings.Builder
+	for _, id := range f.ids {
+		formatInstanceReport(&b, id, f.insts[id].reports)
+	}
+	return b.String()
+}
+
+// Diagnoses returns a copy of one instance's committed window reports; ok
+// is false for an unknown instance.
+func (f *Fleet) Diagnoses(id string) ([]*WindowReport, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st, ok := f.insts[id]
+	if !ok {
+		return nil, false
+	}
+	out := make([]*WindowReport, len(st.reports))
+	copy(out, st.reports)
+	return out, true
+}
+
+// InstanceStatus is one row of GET /fleet.
+type InstanceStatus struct {
+	ID         string `json:"id"`
+	Windows    int    `json:"windows"`
+	Committed  int    `json:"committed"`
+	Simulated  int    `json:"simulated"`
+	QueueDepth int    `json:"queue_depth"`
+	PeakQueue  int    `json:"peak_queue"`
+	Shed       int64  `json:"shed"`
+	Anomalies  int    `json:"anomalies"`
+	Records    int64  `json:"records"`
+	Dropped    int64  `json:"dropped"`
+	AutoRepair bool   `json:"auto_repair,omitempty"`
+	Done       bool   `json:"done"`
+	Error      string `json:"error,omitempty"`
+}
+
+// Status is the GET /fleet document.
+type Status struct {
+	Workers   int              `json:"workers"`
+	Draining  bool             `json:"draining"`
+	Done      bool             `json:"done"`
+	Committed int              `json:"committed"`
+	Anomalies int              `json:"anomalies"`
+	Shed      int64            `json:"shed"`
+	Instances []InstanceStatus `json:"instances"`
+}
+
+// Status snapshots the fleet's progress.
+func (f *Fleet) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := Status{
+		Workers:  parallel.Resolve(f.opt.Workers),
+		Draining: f.draining,
+		Done:     f.settledLocked() && f.started,
+	}
+	for _, id := range f.ids {
+		st := f.insts[id]
+		is := InstanceStatus{
+			ID:         id,
+			Windows:    st.spec.Windows,
+			Committed:  len(st.reports),
+			Simulated:  st.nextSim,
+			QueueDepth: len(st.queue),
+			PeakQueue:  st.peakQueue,
+			Shed:       st.cShed.Value(),
+			Records:    st.cRecords.Value(),
+			Dropped:    f.broker.Dropped(id),
+			AutoRepair: st.spec.AutoRepair,
+			Done:       len(st.reports) >= st.spec.Windows,
+		}
+		for _, rep := range st.reports {
+			is.Anomalies += len(rep.Anomalies)
+		}
+		if st.err != nil {
+			is.Error = st.err.Error()
+		}
+		out.Committed += is.Committed
+		out.Anomalies += is.Anomalies
+		out.Shed += is.Shed
+		out.Instances = append(out.Instances, is)
+	}
+	return out
+}
+
+// RunInstance runs one instance's full monitoring loop to completion —
+// single-instance mode (the old pinsqld inner loop) is just a 1-instance
+// fleet. It returns the committed window reports.
+func RunInstance(spec InstanceSpec, opt Options) ([]*WindowReport, error) {
+	f, err := New([]InstanceSpec{spec}, opt)
+	if err != nil {
+		return nil, err
+	}
+	f.Start()
+	werr := f.Wait()
+	cerr := f.Close()
+	if werr != nil {
+		return nil, werr
+	}
+	if cerr != nil {
+		return nil, cerr
+	}
+	reps, _ := f.Diagnoses(spec.ID)
+	return reps, nil
+}

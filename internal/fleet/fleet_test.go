@@ -1,0 +1,299 @@
+package fleet
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// testSpecs is the shared fixture: four heterogeneous instances, the last
+// one auto-repairing (lockstep scheduling, executed actions in the
+// journal).
+func testSpecs() []InstanceSpec {
+	specs := DefaultFleet(4, 7, 3, 300)
+	specs[3].AutoRepair = true
+	return specs
+}
+
+func runReport(t *testing.T, specs []InstanceSpec, opt Options) (string, *Fleet) {
+	t.Helper()
+	f, err := New(specs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	rep := f.Report()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return rep, f
+}
+
+// TestFleetWorkersEquivalence is the determinism contract across
+// scheduling: a fixed-seed fleet produces a byte-identical report for
+// every worker count.
+func TestFleetWorkersEquivalence(t *testing.T) {
+	var want string
+	for _, workers := range []int{1, 2, 8} {
+		rep, f := runReport(t, testSpecs(), Options{Workers: workers, QueueDepth: 16})
+		st := f.Status()
+		if st.Committed != 4*3 {
+			t.Fatalf("workers=%d: committed %d windows, want 12", workers, st.Committed)
+		}
+		if st.Shed != 0 {
+			t.Fatalf("workers=%d: %d windows shed with a deep queue", workers, st.Shed)
+		}
+		if st.Anomalies == 0 {
+			t.Fatalf("workers=%d: no anomalies diagnosed — fixture lost its teeth", workers)
+		}
+		if want == "" {
+			want = rep
+			continue
+		}
+		if rep != want {
+			t.Fatalf("workers=%d: report diverged\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s", workers, want, workers, rep)
+		}
+	}
+	if !strings.Contains(want, "rsql") {
+		t.Fatalf("no R-SQL diagnosed in:\n%s", want)
+	}
+	if !strings.Contains(want, "action") {
+		t.Fatalf("no repairing action in:\n%s", want)
+	}
+}
+
+// TestFleetCrashResume is the durability contract: kill the fleet at every
+// commit phase of a mid-run window, reopen the data directory, and the
+// finished fleet's report is byte-identical to an uninterrupted run's.
+func TestFleetCrashResume(t *testing.T) {
+	specs := testSpecs()
+	want, _ := runReport(t, specs, Options{Workers: 4, QueueDepth: 16, DataDir: t.TempDir()})
+
+	for _, phase := range []string{"pre-append", "mid-append", "pre-journal", "post-journal"} {
+		t.Run(phase, func(t *testing.T) {
+			dir := t.TempDir()
+			var mu sync.Mutex
+			fired := false
+			opt := Options{Workers: 4, QueueDepth: 16, DataDir: dir}
+			opt.crashAt = func(id string, window int, ph string) bool {
+				mu.Lock()
+				defer mu.Unlock()
+				if id == "inst-03" && window == 1 && ph == phase {
+					fired = true
+					return true
+				}
+				return false
+			}
+			f, err := New(specs, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.Start()
+			f.Wait()
+			st := f.Status()
+			f.Close() // post-crash: leaves files exactly as the kill did
+			mu.Lock()
+			if !fired {
+				mu.Unlock()
+				t.Fatal("crash hook never fired")
+			}
+			mu.Unlock()
+			if st.Committed == 4*3 {
+				t.Fatal("crash killed nothing: every window already committed")
+			}
+
+			// Reopen the same directory: every instance must resume at its
+			// journal watermark and finish the remainder.
+			got, f2 := runReport(t, specs, Options{Workers: 4, QueueDepth: 16, DataDir: dir})
+			if got != want {
+				t.Fatalf("post-restart report diverged\n--- uninterrupted ---\n%s\n--- resumed(%s) ---\n%s", want, phase, got)
+			}
+			for _, is := range f2.Status().Instances {
+				if !is.Done || is.Committed != is.Windows {
+					t.Fatalf("instance %s did not finish: committed %d/%d", is.ID, is.Committed, is.Windows)
+				}
+			}
+		})
+	}
+}
+
+// TestFleetRestartNoRemainder pins the already-finished case: reopening a
+// completed fleet runs zero new windows and rebuilds the identical report
+// purely from the journal.
+func TestFleetRestartNoRemainder(t *testing.T) {
+	specs := testSpecs()
+	dir := t.TempDir()
+	want, _ := runReport(t, specs, Options{Workers: 2, DataDir: dir})
+	got, f := runReport(t, specs, Options{Workers: 2, DataDir: dir})
+	if got != want {
+		t.Fatalf("journal-rebuilt report diverged\n--- live ---\n%s\n--- rebuilt ---\n%s", want, got)
+	}
+	if st := f.Status(); st.Instances[0].Simulated != st.Instances[0].Windows {
+		t.Fatalf("restart re-simulated: %+v", st.Instances[0])
+	}
+}
+
+// TestFleetShedPolicy forces backpressure: one worker gives simulator
+// steps strict priority over diagnosis drains, so a depth-1 queue must
+// shed every window but the last — yet all windows still commit their
+// records, keeping the topic contiguous.
+func TestFleetShedPolicy(t *testing.T) {
+	spec := DefaultSpec("shed", 11, 4, 300)
+	f, err := New([]InstanceSpec{spec}, Options{Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	st := f.Status().Instances[0]
+	if st.Committed != 4 {
+		t.Fatalf("committed %d windows, want 4 (shed windows must still commit)", st.Committed)
+	}
+	if st.Shed != 3 {
+		t.Fatalf("shed %d windows, want 3 (all but the final drain)", st.Shed)
+	}
+	reps, _ := f.Diagnoses("shed")
+	for w, rep := range reps {
+		if rep.Records == 0 {
+			t.Fatalf("window %d committed no records", w)
+		}
+		if shed := w < 3; rep.Shed != shed {
+			t.Fatalf("window %d shed=%v, want %v", w, rep.Shed, shed)
+		}
+		if rep.Shed && len(rep.Anomalies) > 0 {
+			t.Fatalf("window %d kept a diagnosis despite being shed", w)
+		}
+	}
+	if c := f.insts["shed"].cShed.Value(); c != 3 {
+		t.Fatalf("shed counter = %d, want 3", c)
+	}
+}
+
+// TestFleetStopDrains checks graceful shutdown: Stop commits everything
+// already queued, seals the durable topics, and a restart picks up the
+// remaining windows.
+func TestFleetStopDrains(t *testing.T) {
+	specs := testSpecs()
+	dir := t.TempDir()
+	want, _ := runReport(t, specs, Options{Workers: 4, DataDir: t.TempDir()})
+
+	f, err := New(specs, Options{Workers: 4, DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stop after the very first commit: the fleet must drain cleanly with
+	// most windows still unrun.
+	committed := make(chan struct{}, 1)
+	f.opt.OnCommit = func(string, *WindowReport) {
+		select {
+		case committed <- struct{}{}:
+		default:
+		}
+	}
+	f.Start()
+	<-committed
+	if err := f.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if st := f.Status(); !st.Draining {
+		t.Fatal("Stop did not mark the fleet draining")
+	}
+
+	got, _ := runReport(t, specs, Options{Workers: 4, DataDir: dir})
+	if got != want {
+		t.Fatalf("drain+restart report diverged\n--- uninterrupted ---\n%s\n--- resumed ---\n%s", want, got)
+	}
+}
+
+// TestFleetHTTP exercises the control plane end to end against a live
+// fleet.
+func TestFleetHTTP(t *testing.T) {
+	specs := DefaultFleet(2, 3, 2, 300)
+	f, err := New(specs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	get := func(path string, wantCode int) string {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s = %d, want %d", path, resp.StatusCode, wantCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	var st Status
+	if err := json.Unmarshal([]byte(get("/fleet", 200)), &st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Instances) != 2 || !st.Done || st.Committed != 4 {
+		t.Fatalf("unexpected /fleet status: %+v", st)
+	}
+
+	var reps []*WindowReport
+	if err := json.Unmarshal([]byte(get("/instances/inst-00/diagnoses", 200)), &reps); err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 || reps[1].Records == 0 {
+		t.Fatalf("unexpected diagnoses: %+v", reps)
+	}
+	get("/instances/nope/diagnoses", 404)
+
+	metrics := get("/metrics", 200)
+	for _, want := range []string{
+		`pinsql_fleet_windows_total{instance="inst-00"} 2`,
+		`pinsql_fleet_anomalies_total{instance=`,
+		`pinsql_fleet_shed_windows_total{instance="inst-01"} 0`,
+		`pinsql_registry_raw_cache_hits_total{instance=`,
+		`pinsql_broker_dropped_total{topic="inst-00"} 0`,
+		`pinsql_fleet_queue_depth{instance="inst-01"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+	if !strings.Contains(get("/debug/pprof/cmdline", 200), "fleet") {
+		t.Fatal("pprof cmdline endpoint not wired")
+	}
+}
+
+// TestRunInstanceSingle pins the single-instance helper pinsqld uses.
+func TestRunInstanceSingle(t *testing.T) {
+	reps, err := RunInstance(DefaultSpec("one", 42, 2, 300), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reps))
+	}
+	if reps[1].Injected == "" || reps[1].Records == 0 {
+		t.Fatalf("window 1 looks empty: %+v", reps[1])
+	}
+}

@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler is the fleet's HTTP control plane:
+//
+//	GET /fleet                     fleet + per-instance status (JSON)
+//	GET /instances/{id}/diagnoses  committed window reports (JSON)
+//	GET /metrics                   Prometheus text exposition
+//	GET /debug/pprof/...           stdlib profiling endpoints
+//
+// It is read-only — process control stays with signals (SIGTERM drains) —
+// and safe to serve while the fleet runs: every handler snapshots state
+// under the fleet lock.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fleet", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, f.Status())
+	})
+	mux.HandleFunc("GET /instances/{id}/diagnoses", func(w http.ResponseWriter, r *http.Request) {
+		reps, ok := f.Diagnoses(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown instance", http.StatusNotFound)
+			return
+		}
+		if reps == nil {
+			reps = []*WindowReport{}
+		}
+		writeJSON(w, reps)
+	})
+	mux.Handle("GET /metrics", f.opt.Metrics.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -40,6 +40,12 @@ type Backend interface {
 	// the number removed.
 	Expire(nowMs int64) int
 
+	// TruncateFrom drops every record in topic with ArrivalMs >= fromMs
+	// and returns the number removed. It is the crash-recovery inverse of
+	// Append: a restarting consumer discards the partially written suffix
+	// of its topic and replays from a known-committed boundary.
+	TruncateFrom(topic string, fromMs int64) int
+
 	// TTL returns the configured time-to-live in milliseconds.
 	TTL() int64
 

@@ -713,6 +713,141 @@ func (s *Store) Expire(nowMs int64) int {
 	return removed
 }
 
+// TruncateFrom drops every record in topic with ArrivalMs >= fromMs and
+// returns the number of live records removed. It is the crash-recovery
+// inverse of Append: a restarting consumer (the fleet) discards the
+// partially committed suffix of its topic before replaying a window.
+// Segments wholly at/after the boundary are deleted; a segment straddling
+// it is rewritten in place (atomically, tmp + rename); the memtable is cut
+// and the active wal rewritten so the truncation survives a further crash.
+func (s *Store) TruncateFrom(topicName string, fromMs int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, _ := s.getTopic(topicName, false)
+	if t == nil {
+		return 0
+	}
+	removed := 0
+	var orphans []logstore.Record // survivors of a failed segment rewrite
+	keep := t.segs[:0]
+	for _, sf := range t.segs {
+		switch {
+		case sf.minMs >= fromMs: // wholly cut
+			removed += sf.live
+			sf.close()
+			os.Remove(sf.path)
+		case sf.maxMs >= fromMs: // straddles the boundary: rewrite survivors
+			var survivors []logstore.Record
+			it := sf.iterFrom(math.MinInt64)
+			for {
+				rec, ok := it.next()
+				if !ok || rec.ArrivalMs >= fromMs {
+					break
+				}
+				survivors = append(survivors, rec)
+			}
+			// Records below the watermark are already dead; both the
+			// survivor prefix and the dead prefix are prefixes of the
+			// sorted segment, so the kept live count is their difference.
+			deadKept := sf.countBefore(t.watermark)
+			if deadKept > len(survivors) {
+				deadKept = len(survivors)
+			}
+			removed += sf.live - (len(survivors) - deadKept)
+			if len(survivors) == 0 {
+				sf.close()
+				os.Remove(sf.path)
+				continue
+			}
+			nsf, err := writeSegment(t.dir, sf.seq, survivors, s.opt.IndexEvery)
+			if err != nil {
+				// Disk trouble: stay correct in memory by folding the
+				// survivors into the active wal; durability is degraded
+				// and flagged via Err.
+				s.fail(err)
+				sf.close()
+				os.Remove(sf.path)
+				orphans = append(orphans, survivors...)
+				continue
+			}
+			sf.close()
+			nsf.live = nsf.count - deadKept
+			keep = append(keep, nsf)
+		default:
+			keep = append(keep, sf)
+		}
+	}
+	t.segs = keep
+	for _, rec := range orphans {
+		s.append(t, rec, true)
+	}
+
+	t.ensureSorted()
+	lo := sort.Search(len(t.mem), func(i int) bool { return t.mem[i].ArrivalMs >= fromMs })
+	if cut := len(t.mem) - lo; cut > 0 {
+		// The memtable holds no watermark-dead records (replay filters
+		// them, Expire trims them), so every cut record was live.
+		removed += cut
+		t.mem = t.mem[:lo:lo]
+		if err := s.rewriteWal(t); err != nil {
+			s.fail(err)
+		}
+	}
+	syncDir(t.dir)
+	t.syncRef()
+	return removed
+}
+
+// rewriteWal replaces the topic's active wal with frames for exactly the
+// current memtable (in sorted order — observably identical, since scans
+// sort lazily anyway). Written to a temporary file and renamed into place
+// so a crash mid-rewrite leaves either the old or the new wal, never a
+// mix. Callers hold s.mu.
+func (s *Store) rewriteWal(t *topic) error {
+	buf := []byte(walMagic)
+	prev := int64(0)
+	var payload []byte
+	for _, rec := range t.mem {
+		payload = appendRecord(payload[:0], prev, rec)
+		buf = appendFrame(buf, payload)
+		prev = rec.ArrivalMs
+	}
+	path := filepath.Join(t.dir, walName(t.seq))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	f, err := os.OpenFile(tmp, os.O_RDWR, 0o644)
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Seek(int64(len(buf)), 0); err != nil {
+		f.Close()
+		return err
+	}
+	if t.wal != nil {
+		t.wal.Close()
+	}
+	t.wal = f
+	t.walBytes = int64(len(buf))
+	t.prevArrival = prev
+	t.sinceSync = 0
+	t.dirty = false
+	return nil
+}
+
 // Seal forces the active wal of every topic into a sealed segment; mainly
 // for tests and benchmarks exercising the sealed-scan path.
 func (s *Store) Seal() error {

@@ -205,6 +205,27 @@ func (s *Store) Expire(nowMs int64) int {
 	return removed
 }
 
+// TruncateFrom drops every record in topic with ArrivalMs >= fromMs and
+// returns the number removed. Restarting consumers use it to discard a
+// partially committed suffix before replaying a window.
+func (s *Store) TruncateFrom(topic string, fromMs int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureSorted(topic)
+	recs := s.topics[topic]
+	lo := sort.Search(len(recs), func(i int) bool { return recs[i].ArrivalMs >= fromMs })
+	removed := len(recs) - lo
+	if removed == 0 {
+		return 0
+	}
+	if lo == 0 {
+		delete(s.topics, topic)
+		return removed
+	}
+	s.topics[topic] = recs[:lo:lo]
+	return removed
+}
+
 // Close satisfies Backend; the in-memory store holds no external
 // resources.
 func (s *Store) Close() error { return nil }

@@ -1,0 +1,121 @@
+package parallel
+
+import (
+	"sync"
+)
+
+// Pool is a long-lived fixed-size worker pool with two priority classes.
+// The fleet scheduler uses it to multiplex many per-instance state
+// machines over a bounded set of OS threads: simulator steps are submitted
+// at high priority (the simulated database never pauses for the monitor —
+// mirroring production, where the DB does not wait for PinSQL), while
+// diagnosis drains run at low priority and only occupy workers the
+// simulators leave idle.
+//
+// Scheduling is priority-strict but not preemptive: when a worker frees
+// up it always prefers the high queue; a running low-priority task is
+// never interrupted. Both queues are unbounded FIFOs — backpressure is
+// the caller's job (the fleet sheds windows instead of letting the low
+// queue grow without bound).
+//
+// A panic inside a task is captured; the first one is re-raised on the
+// goroutine that calls Close. This mirrors the package's ForEach/Blocks
+// contract: worker panics never kill the process silently.
+type Pool struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	high     []func()
+	low      []func()
+	closed   bool
+	panicked any
+	wg       sync.WaitGroup
+}
+
+// NewPool starts a pool with the resolved worker count (see Resolve).
+func NewPool(workers int) *Pool {
+	p := &Pool{}
+	p.cond = sync.NewCond(&p.mu)
+	n := Resolve(workers)
+	p.wg.Add(n)
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for !p.closed && len(p.high) == 0 && len(p.low) == 0 {
+			p.cond.Wait()
+		}
+		var task func()
+		switch {
+		case len(p.high) > 0:
+			task = p.high[0]
+			p.high = p.high[1:]
+		case len(p.low) > 0:
+			task = p.low[0]
+			p.low = p.low[1:]
+		default: // closed and drained
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+		p.run(task)
+	}
+}
+
+func (p *Pool) run(task func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			if p.panicked == nil {
+				p.panicked = r
+			}
+			p.mu.Unlock()
+		}
+	}()
+	task()
+}
+
+// Submit enqueues a high-priority task. Submitting to a closed pool
+// panics — the fleet must stop producing before Close.
+func (p *Pool) Submit(task func()) {
+	p.enqueue(task, true)
+}
+
+// SubmitLow enqueues a low-priority task: it runs only when no
+// high-priority work is queued.
+func (p *Pool) SubmitLow(task func()) {
+	p.enqueue(task, false)
+}
+
+func (p *Pool) enqueue(task func(), high bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		panic("parallel: Submit on closed Pool")
+	}
+	if high {
+		p.high = append(p.high, task)
+	} else {
+		p.low = append(p.low, task)
+	}
+	p.cond.Signal()
+}
+
+// Close drains both queues, stops the workers, and re-raises the first
+// task panic (if any) on the calling goroutine. Tasks queued before Close
+// still run; Submit after Close panics.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+	if p.panicked != nil {
+		panic(p.panicked)
+	}
+}

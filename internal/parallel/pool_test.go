@@ -1,0 +1,90 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsAllTasks checks every submitted task executes exactly once
+// and Close waits for stragglers.
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	var n atomic.Int64
+	for i := 0; i < 500; i++ {
+		if i%2 == 0 {
+			p.Submit(func() { n.Add(1) })
+		} else {
+			p.SubmitLow(func() { n.Add(1) })
+		}
+	}
+	p.Close()
+	if got := n.Load(); got != 500 {
+		t.Fatalf("ran %d tasks, want 500", got)
+	}
+}
+
+// TestPoolPriority pins a single worker and checks that queued
+// high-priority tasks run before queued low-priority ones.
+func TestPoolPriority(t *testing.T) {
+	p := NewPool(1)
+	var mu sync.Mutex
+	var order []string
+	gate := make(chan struct{})
+	// Occupy the only worker so the later submissions pile up in queue.
+	p.Submit(func() { <-gate })
+	// Give the worker a moment to pick up the blocker.
+	time.Sleep(10 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		p.SubmitLow(func() { mu.Lock(); order = append(order, "low"); mu.Unlock() })
+	}
+	for i := 0; i < 3; i++ {
+		p.Submit(func() { mu.Lock(); order = append(order, "high"); mu.Unlock() })
+	}
+	close(gate)
+	p.Close()
+	want := []string{"high", "high", "high", "low", "low", "low"}
+	if len(order) != len(want) {
+		t.Fatalf("ran %d tasks, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestPoolPanicPropagates checks a task panic is re-raised at Close and
+// does not kill other tasks.
+func TestPoolPanicPropagates(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int64
+	p.Submit(func() { panic("boom") })
+	for i := 0; i < 50; i++ {
+		p.SubmitLow(func() { ran.Add(1) })
+	}
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("expected Close to re-raise the task panic")
+		} else if r != "boom" {
+			t.Fatalf("panic = %v, want boom", r)
+		}
+		if got := ran.Load(); got != 50 {
+			t.Fatalf("surviving tasks ran %d times, want 50", got)
+		}
+	}()
+	p.Close()
+}
+
+// TestPoolSubmitAfterClosePanics locks the misuse contract.
+func TestPoolSubmitAfterClosePanics(t *testing.T) {
+	p := NewPool(1)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected Submit after Close to panic")
+		}
+	}()
+	p.Submit(func() {})
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Control-plane smoke test: boot pinsqld -serve over a 4-instance fleet,
+# poll the HTTP endpoints while the fleet is running, then SIGTERM and
+# assert a graceful drain (exit 0). CI runs this on every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:19131
+DATA=$(mktemp -d)
+LOG=$(mktemp)
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$DATA" "$LOG" pinsqld-smoke' EXIT
+
+# 6 workers over 4 instances: sim tasks strictly outrank diagnosis drains
+# (the simulator is never paused), so the two spare workers keep the
+# commit stream flowing while the four sim slots stay saturated.
+go build -o pinsqld-smoke ./cmd/pinsqld
+./pinsqld-smoke -instances 4 -windows 200 -window 300 -workers 6 \
+  -data-dir "$DATA" -serve "$ADDR" >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the control plane to come up.
+for i in $(seq 1 50); do
+  curl -sf "http://$ADDR/fleet" >/dev/null 2>&1 && break
+  kill -0 "$PID" 2>/dev/null || { echo "pinsqld died early:"; cat "$LOG"; exit 1; }
+  sleep 0.2
+done
+
+# Wait until the fleet has committed windows AND diagnosed anomalies
+# (odd windows carry injections), then check every endpoint.
+committed=0; anomalies=0
+for i in $(seq 1 300); do
+  fleet=$(curl -sf "http://$ADDR/fleet")
+  committed=$(echo "$fleet" | sed -n 's/.*"committed": \([0-9]*\),.*/\1/p' | head -1)
+  anomalies=$(echo "$fleet" | sed -n 's/.*"anomalies": \([0-9]*\),.*/\1/p' | head -1)
+  [ "${committed:-0}" -gt 0 ] && [ "${anomalies:-0}" -gt 0 ] && break
+  kill -0 "$PID" 2>/dev/null || { echo "pinsqld died mid-run:"; cat "$LOG"; exit 1; }
+  sleep 0.2
+done
+[ "${committed:-0}" -gt 0 ] || { echo "fleet committed nothing"; cat "$LOG"; exit 1; }
+[ "${anomalies:-0}" -gt 0 ] || { echo "fleet diagnosed no anomalies"; cat "$LOG"; exit 1; }
+echo "fleet committed $committed windows, $anomalies anomalies"
+
+FLEET=$(curl -sf "http://$ADDR/fleet")
+echo "$FLEET" | grep -q '"id": "inst-00"' || { echo "/fleet missing inst-00: $FLEET"; exit 1; }
+curl -sf "http://$ADDR/instances/inst-00/diagnoses" | grep -q '"window": 0' \
+  || { echo "/instances/inst-00/diagnoses missing window 0"; exit 1; }
+curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/instances/nope/diagnoses" | grep -q 404 \
+  || { echo "unknown instance did not 404"; exit 1; }
+
+METRICS=$(curl -sf "http://$ADDR/metrics")
+for metric in pinsql_fleet_windows_total pinsql_fleet_anomalies_total \
+  pinsql_fleet_queue_depth pinsql_registry_raw_cache_misses_total \
+  pinsql_broker_dropped_total; do
+  echo "$METRICS" | grep -q "^$metric" || { echo "/metrics missing $metric"; exit 1; }
+done
+# Window and anomaly counters must be live (non-zero) while the fleet runs.
+echo "$METRICS" | grep '^pinsql_fleet_windows_total' | grep -qv ' 0$' \
+  || { echo "windows counter stuck at zero"; exit 1; }
+echo "$METRICS" | grep '^pinsql_fleet_anomalies_total' | grep -qv ' 0$' \
+  || { echo "anomalies counter stuck at zero"; exit 1; }
+curl -sf "http://$ADDR/debug/pprof/cmdline" >/dev/null || { echo "pprof not wired"; exit 1; }
+
+# Graceful drain: SIGTERM must commit the queued windows and exit 0.
+kill -TERM "$PID"
+for i in $(seq 1 450); do kill -0 "$PID" 2>/dev/null || break; sleep 0.2; done
+if kill -0 "$PID" 2>/dev/null; then echo "pinsqld ignored SIGTERM"; cat "$LOG"; exit 1; fi
+wait "$PID" || { echo "pinsqld exited non-zero on SIGTERM:"; cat "$LOG"; exit 1; }
+grep -q "draining fleet" "$LOG" || { echo "no drain message:"; cat "$LOG"; exit 1; }
+grep -q "^instance inst-00:" "$LOG" || { echo "no final report:"; cat "$LOG"; exit 1; }
+echo "smoke-serve OK: clean drain after $(grep -c 'window' "$LOG") log lines"
