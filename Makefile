@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz-smoke bench-parallel bench-logstore bench-gen bench-fleet smoke-serve clean
+.PHONY: all build test race vet fuzz-smoke bench-parallel bench-logstore bench-gen bench-fleet bench-diagnose smoke-serve clean
 
 all: build vet test
 
@@ -55,6 +55,13 @@ bench-gen:
 # queue depth). Writes BENCH_fleet.json.
 bench-fleet:
 	$(GO) run ./cmd/pinsql-bench -exp fleet -small -seed 3
+
+# Diagnosis-path comparison: the columnar window frame vs the legacy
+# map-keyed path (windows/sec, allocs/op, bytes/op) with a built-in
+# divergence check — the run exits non-zero if the two paths disagree on
+# any ranking bit. Writes BENCH_diagnose.json.
+bench-diagnose:
+	$(GO) run ./cmd/pinsql-bench -exp diagnose -small -seed 3
 
 # Control-plane smoke: boot pinsqld -serve with a 4-instance fleet, curl
 # /fleet and /metrics, then SIGTERM and assert a clean drain (exit 0).

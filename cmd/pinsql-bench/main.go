@@ -33,13 +33,14 @@ func main() {
 // run before the process exits (os.Exit skips defers).
 func realMain() (code int) {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|logstore|gen|fleet|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|logstore|gen|fleet|diagnose|all")
 		n          = flag.Int("cases", 24, "corpus size for table1/fig6/families")
 		seed       = flag.Int64("seed", 1, "corpus seed")
 		param      = flag.String("param", "ks", "sweep parameter: ks|tau|buckets")
 		small      = flag.Bool("small", false, "use reduced trace lengths (faster, noisier)")
 		workers    = flag.Int("workers", 0, "worker pool for case generation and fig7's parallel curve (0 = GOMAXPROCS, 1 = sequential)")
 		genOut     = flag.String("gen-out", "BENCH_gen.json", "output file for the -exp gen report (empty = stdout only)")
+		diagOut    = flag.String("diagnose-out", "BENCH_diagnose.json", "output file for the -exp diagnose report (empty = stdout only)")
 		fleetOut   = flag.String("fleet-out", "BENCH_fleet.json", "output file for the -exp fleet report (empty = stdout only)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -161,6 +162,27 @@ func realMain() (code int) {
 						return nil, err
 					}
 					fmt.Printf("[gen report written to %s]\n", *genOut)
+				}
+				return wrapped{res}, nil
+			})
+		},
+		"diagnose": func() {
+			run("diagnose", func() (fmt.Stringer, error) {
+				res, err := bench.RunDiagnoseBench(bench.DiagnoseBenchOptions{
+					Seed: *seed, Workers: *workers, Small: *small,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if *diagOut != "" {
+					data, err := json.MarshalIndent(res, "", " ")
+					if err != nil {
+						return nil, err
+					}
+					if err := os.WriteFile(*diagOut, append(data, '\n'), 0o644); err != nil {
+						return nil, err
+					}
+					fmt.Printf("[diagnose report written to %s]\n", *diagOut)
 				}
 				return wrapped{res}, nil
 			})

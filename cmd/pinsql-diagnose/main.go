@@ -68,17 +68,17 @@ func runFile(path string, topK int) error {
 	if err != nil {
 		return fmt.Errorf("parsing %s: %w", path, err)
 	}
-	c, queries, err := doc.ToCase()
+	c, fr, err := doc.ToFrame()
 	if err != nil {
 		return err
 	}
 	cfg := core.DefaultConfig()
-	if len(queries) == 0 {
+	if fr.NumObs() == 0 {
 		// No raw query log in the file: fall back to the response-time
 		// proxy for individual sessions.
 		cfg.NoEstimateSession = true
 	}
-	d := core.Diagnose(c, queries, cfg)
+	d := core.DiagnoseFrame(c, fr, cfg)
 	printDiagnosis(d, c, topK)
 	if doc.Truth != nil && len(doc.Truth.RSQLs) > 0 && len(d.RSQLs) > 0 {
 		hit := false
@@ -120,7 +120,7 @@ func runDemo(family string, topK int) error {
 	fmt.Printf("generated %s (anomaly window [%d, %d) s, %d templates)\n",
 		lab.Name, lab.Case.AS, lab.Case.AE, len(lab.Case.Snapshot.Templates))
 	fmt.Printf("ground truth R-SQLs: %v\n\n", keys(lab.RSQLs))
-	d := core.Diagnose(lab.Case, cases.QueriesOf(lab.Collector, lab.Case.Snapshot), core.DefaultConfig())
+	d := core.DiagnoseFrame(lab.Case, lab.Collector.Frame(), core.DefaultConfig())
 	printDiagnosis(d, lab.Case, topK)
 	return nil
 }

@@ -18,7 +18,6 @@ import (
 
 	"pinsql/internal/caseio"
 	"pinsql/internal/cases"
-	"pinsql/internal/session"
 	"pinsql/internal/workload"
 )
 
@@ -83,11 +82,14 @@ func run(count int, seed int64, family, out string, withQueries, small bool) err
 		if err != nil {
 			return err
 		}
-		var qs session.Queries
+		var doc *caseio.File
 		if withQueries {
-			qs = cases.QueriesOf(lab.Collector, lab.Case.Snapshot)
+			// The frame carries the observation columns the collector
+			// already built — same bytes as FromCase over QueriesOf.
+			doc = caseio.FromFrame(lab.Case, lab.Collector.Frame())
+		} else {
+			doc = caseio.FromCase(lab.Case, nil)
 		}
-		doc := caseio.FromCase(lab.Case, qs)
 		doc.Name = lab.Name
 		doc.Truth = &caseio.Truth{Kind: kind.String()}
 		for id := range lab.RSQLs {

@@ -17,7 +17,9 @@
 // reproducing the uninterrupted run byte for byte.
 //
 // With -serve the process exposes an HTTP control plane (fleet status,
-// per-instance diagnoses, Prometheus metrics, pprof) and runs until
+// per-instance diagnoses, Prometheus metrics — including per-stage
+// pinsql_stage_duration_seconds summaries for collect/detect/diagnose/
+// commit — and pprof) and runs until
 // SIGTERM/SIGINT, which triggers a graceful drain: queued windows are
 // diagnosed and committed, durable topics are sealed, and the process
 // exits 0.

@@ -52,9 +52,9 @@ func RunParamSweep(opt cases.Options, name string, values []float64) (*ParamSwee
 	err := cases.Stream(opt, func(lab *cases.Labeled) error {
 		rTruth = append(rTruth, lab.RSQLs)
 		hTruth = append(hTruth, lab.HSQLs)
-		queries := cases.QueriesOf(lab.Collector, lab.Case.Snapshot)
+		fr := lab.Collector.Frame()
 		for i, cfg := range cfgs {
-			d := core.Diagnose(lab.Case, queries, cfg)
+			d := core.DiagnoseFrame(lab.Case, fr, cfg)
 			rRank[i] = append(rRank[i], d.RSQLIDs())
 			hRank[i] = append(hRank[i], d.HSQLIDs())
 		}
@@ -118,8 +118,8 @@ func RunFamilyBreakdown(opt cases.Options) (*FamilyBreakdown, error) {
 	n := 0
 	err := cases.Stream(opt, func(lab *cases.Labeled) error {
 		n++
-		queries := cases.QueriesOf(lab.Collector, lab.Case.Snapshot)
-		d := core.Diagnose(lab.Case, queries, core.DefaultConfig())
+		fr := lab.Collector.Frame()
+		d := core.DiagnoseFrame(lab.Case, fr, core.DefaultConfig())
 		rank4[lab.Kind] = append(rank4[lab.Kind], d.RSQLIDs())
 		truth4[lab.Kind] = append(truth4[lab.Kind], lab.RSQLs)
 		return nil

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"pinsql/internal/cases"
+	"pinsql/internal/core"
+	"pinsql/internal/logstore"
+	"pinsql/internal/session"
+	"pinsql/internal/window"
+	"pinsql/internal/workload"
+)
+
+// DiagnoseBenchOptions configures the frame-vs-legacy diagnosis benchmark.
+type DiagnoseBenchOptions struct {
+	Seed    int64
+	Workers int // diagnosis Workers knob; 0 → GOMAXPROCS
+	Rounds  int // diagnosis repetitions per case; 0 → 8 (4 when Small)
+	Small   bool
+}
+
+// DiagnoseBench compares the warm diagnosis path on the columnar window
+// frame (core.DiagnoseFrame) against the legacy map-keyed path
+// (session.Queries materialization + core.Diagnose) over one mixed corpus.
+// Both paths diagnose the same cases and must produce identical rankings —
+// Identical is the determinism check the CI smoke gates on. It is the
+// document behind BENCH_diagnose.json.
+//
+// The legacy loop reproduces the pre-refactor per-window cost exactly:
+// re-scan the collector's log store into a freshly allocated map-keyed
+// query table (what cases.QueriesOf did before it became a frame shim),
+// then diagnose through the map. The frame loop diagnoses straight off
+// the collector's cached columnar frame.
+type DiagnoseBench struct {
+	Workers int `json:"workers"`
+	Cases   int `json:"cases"`
+	Rounds  int `json:"rounds"`
+
+	LegacyWindowsPerSec float64 `json:"legacy_windows_per_sec"`
+	FrameWindowsPerSec  float64 `json:"frame_windows_per_sec"`
+	Speedup             float64 `json:"speedup"`
+
+	LegacyAllocsPerOp float64 `json:"legacy_allocs_per_op"`
+	FrameAllocsPerOp  float64 `json:"frame_allocs_per_op"`
+	AllocRatio        float64 `json:"alloc_ratio"` // legacy / frame
+
+	LegacyBytesPerOp float64 `json:"legacy_bytes_per_op"`
+	FrameBytesPerOp  float64 `json:"frame_bytes_per_op"`
+	ByteRatio        float64 `json:"byte_ratio"` // legacy / frame
+
+	Identical bool `json:"identical"`
+}
+
+// diagnoseBenchCorpus is the fixed four-family workload the benchmark
+// diagnoses (one case per anomaly family).
+func diagnoseBenchCorpus(opt DiagnoseBenchOptions) ([]*cases.Labeled, error) {
+	o := genCorpusOptions(GenBenchOptions{Seed: opt.Seed, Small: opt.Small})
+	kinds := []workload.AnomalyKind{
+		workload.KindBusinessSpike, workload.KindPoorSQL,
+		workload.KindLockStorm, workload.KindMDL,
+	}
+	labs := make([]*cases.Labeled, 0, len(kinds))
+	for i, kind := range kinds {
+		lab, err := cases.GenerateOne(o, opt.Seed+int64(i), kind)
+		if err != nil {
+			return nil, err
+		}
+		labs = append(labs, lab)
+	}
+	return labs, nil
+}
+
+// measureLoop times fn over rounds*len(labs) operations and reports
+// wall-clock seconds plus exact allocation deltas (runtime.MemStats.Mallocs
+// and TotalAlloc are cumulative across all goroutines, so the parallel
+// pipeline's allocations are counted too).
+func measureLoop(rounds int, labs []*cases.Labeled, fn func(lab *cases.Labeled)) (sec, allocsPerOp, bytesPerOp float64) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for _, lab := range labs {
+			fn(lab)
+		}
+	}
+	sec = time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	ops := float64(rounds * len(labs))
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / ops
+	bytesPerOp = float64(after.TotalAlloc-before.TotalAlloc) / ops
+	return sec, allocsPerOp, bytesPerOp
+}
+
+// legacyQueries rebuilds the estimator's map-keyed input the way the
+// pre-refactor cases.QueriesOf did: stream the collector's log store range
+// into a fresh map. This is the per-window work the frame representation
+// eliminates.
+func legacyQueries(lab *cases.Labeled) session.Queries {
+	snap := lab.Case.Snapshot
+	out := make(session.Queries)
+	reg := lab.Collector.Registry()
+	lab.Collector.Store().ScanFunc(snap.Topic, snap.StartMs, snap.StartMs+int64(snap.Seconds)*1000,
+		func(r logstore.Record) bool {
+			id := reg.At(r.TemplateIdx).ID
+			out[id] = append(out[id], session.Obs{ArrivalMs: r.ArrivalMs, ResponseMs: r.ResponseMs})
+			return true
+		})
+	return out
+}
+
+// sameDiagnosis reports whether a legacy and a frame diagnosis agree on
+// every ranking-visible bit: H-SQL order, IDs and score components
+// (ignoring the frame-only Pos field), and R-SQL order, IDs, scores,
+// cluster assignment and verification verdicts.
+func sameDiagnosis(legacy, frame *core.Diagnosis) bool {
+	if len(legacy.HSQLs) != len(frame.HSQLs) || len(legacy.RSQLs) != len(frame.RSQLs) {
+		return false
+	}
+	for i, l := range legacy.HSQLs {
+		f := frame.HSQLs[i]
+		if l.ID != f.ID ||
+			math.Float64bits(l.Trend) != math.Float64bits(f.Trend) ||
+			math.Float64bits(l.Scale) != math.Float64bits(f.Scale) ||
+			math.Float64bits(l.ScaleTrend) != math.Float64bits(f.ScaleTrend) ||
+			math.Float64bits(l.Impact) != math.Float64bits(f.Impact) {
+			return false
+		}
+	}
+	for i, l := range legacy.RSQLs {
+		f := frame.RSQLs[i]
+		if l.ID != f.ID || l.Cluster != f.Cluster || l.Verified != f.Verified ||
+			math.Float64bits(l.Score) != math.Float64bits(f.Score) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunDiagnoseBench measures the warm per-window diagnosis rate and
+// allocation profile of the frame path against the legacy map-keyed path,
+// and cross-checks that both produce bit-identical rankings on every case.
+func RunDiagnoseBench(opt DiagnoseBenchOptions) (*DiagnoseBench, error) {
+	rounds := opt.Rounds
+	if rounds <= 0 {
+		rounds = 8
+		if opt.Small {
+			rounds = 4
+		}
+	}
+	labs, err := diagnoseBenchCorpus(opt)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.DefaultConfig()
+	cfg.Workers = opt.Workers
+
+	out := &DiagnoseBench{
+		Workers:   cfg.Workers,
+		Cases:     len(labs),
+		Rounds:    rounds,
+		Identical: true,
+	}
+
+	// Correctness first: the two paths must agree on every case. Frames
+	// are built (and cached) here, so the timed loops below are warm.
+	frames := make([]*window.Frame, len(labs))
+	for i, lab := range labs {
+		frames[i] = lab.Collector.Frame()
+		legacy := core.Diagnose(lab.Case, legacyQueries(lab), cfg)
+		framed := core.DiagnoseFrame(lab.Case, frames[i], cfg)
+		if !sameDiagnosis(legacy, framed) {
+			out.Identical = false
+		}
+	}
+	if !out.Identical {
+		return out, fmt.Errorf("bench: frame and legacy diagnoses diverge")
+	}
+
+	legacySec, legacyAllocs, legacyBytes := measureLoop(rounds, labs, func(lab *cases.Labeled) {
+		core.Diagnose(lab.Case, legacyQueries(lab), cfg)
+	})
+	frameSec, frameAllocs, frameBytes := measureLoop(rounds, labs, func(lab *cases.Labeled) {
+		core.DiagnoseFrame(lab.Case, lab.Collector.Frame(), cfg)
+	})
+
+	ops := float64(rounds * len(labs))
+	out.LegacyWindowsPerSec = ops / legacySec
+	out.FrameWindowsPerSec = ops / frameSec
+	out.Speedup = legacySec / frameSec
+	out.LegacyAllocsPerOp = legacyAllocs
+	out.FrameAllocsPerOp = frameAllocs
+	if frameAllocs > 0 {
+		out.AllocRatio = legacyAllocs / frameAllocs
+	}
+	out.LegacyBytesPerOp = legacyBytes
+	out.FrameBytesPerOp = frameBytes
+	if frameBytes > 0 {
+		out.ByteRatio = legacyBytes / frameBytes
+	}
+	return out, nil
+}
+
+// Format renders the benchmark report.
+func (b *DiagnoseBench) Format() string {
+	var s strings.Builder
+	s.WriteString("Diagnosis path: columnar frame vs legacy map-keyed queries\n")
+	fmt.Fprintf(&s, "corpus: %d cases × %d rounds, Workers=%d\n", b.Cases, b.Rounds, b.Workers)
+	fmt.Fprintf(&s, "%-8s | %14s | %14s | %14s\n", "path", "windows/sec", "allocs/op", "bytes/op")
+	fmt.Fprintf(&s, "%-8s | %14.1f | %14.0f | %14.0f\n", "legacy", b.LegacyWindowsPerSec, b.LegacyAllocsPerOp, b.LegacyBytesPerOp)
+	fmt.Fprintf(&s, "%-8s | %14.1f | %14.0f | %14.0f\n", "frame", b.FrameWindowsPerSec, b.FrameAllocsPerOp, b.FrameBytesPerOp)
+	fmt.Fprintf(&s, "speedup %.2fx, %.1fx fewer allocs, %.1fx fewer bytes, identical=%v\n",
+		b.Speedup, b.AllocRatio, b.ByteRatio, b.Identical)
+	return s.String()
+}

@@ -60,9 +60,9 @@ func RunFig6(opt cases.Options) (*Fig6, error) {
 	err := cases.Stream(opt, func(lab *cases.Labeled) error {
 		rTruth = append(rTruth, lab.RSQLs)
 		hTruth = append(hTruth, lab.HSQLs)
-		queries := cases.QueriesOf(lab.Collector, lab.Case.Snapshot)
+		fr := lab.Collector.Frame()
 		for i, v := range variants {
-			d := core.Diagnose(lab.Case, queries, v.Cfg)
+			d := core.DiagnoseFrame(lab.Case, fr, v.Cfg)
 			rRank[i] = append(rRank[i], d.RSQLIDs())
 			hRank[i] = append(hRank[i], d.HSQLIDs())
 		}

@@ -52,13 +52,13 @@ func RunFig7(seed int64, templateSweep []int, periodSweep []int, workers int) (*
 	out := &Fig7{Workers: parallel.Resolve(workers)}
 
 	measure := func(lab *cases.Labeled) Fig7Point {
-		queries := cases.QueriesOf(lab.Collector, lab.Case.Snapshot)
+		fr := lab.Collector.Frame()
 		seqCfg := core.DefaultConfig()
 		seqCfg.Workers = 1
-		seq := core.Diagnose(lab.Case, queries, seqCfg)
+		seq := core.DiagnoseFrame(lab.Case, fr, seqCfg)
 		parCfg := core.DefaultConfig()
 		parCfg.Workers = out.Workers
-		par := core.Diagnose(lab.Case, queries, parCfg)
+		par := core.DiagnoseFrame(lab.Case, fr, parCfg)
 		return Fig7Point{
 			Templates: len(lab.Case.Snapshot.Templates),
 			PeriodSec: lab.Case.AE - lab.Case.AS,

@@ -5,7 +5,6 @@ import (
 	"strings"
 
 	"pinsql/internal/anomaly"
-	"pinsql/internal/cases"
 	"pinsql/internal/collect"
 	"pinsql/internal/core"
 	"pinsql/internal/dbsim"
@@ -106,7 +105,7 @@ func RunFig8(seed int64) (*Fig8, error) {
 	// Phase 2: the user throttles the Top-RT statement — which, because
 	// lock-wait time inflates response time, is a blocked victim, not the
 	// root cause.
-	snapshot := coll.Snapshot()
+	snapshot := collect.SnapshotOfFrame(coll.Frame())
 	topRT := rank.TopSQL(snapshot, fig8AnomalyStart, fig8ManualAction, rank.MethodTopRT)
 	out.ThrottledTemplate = topRT[0]
 	inst.SetThrottle(string(out.ThrottledTemplate), 2)
@@ -124,10 +123,11 @@ func RunFig8(seed int64) (*Fig8, error) {
 
 	// Phase 4: the user enables PinSQL: detect, diagnose, repair.
 	out.Events = append(out.Events, Fig8Event{fig8PinSQLEnabled, "PinSQL enabled: diagnose + repair R-SQL"})
-	snapshot = coll.Snapshot()
+	fr := coll.Frame()
+	snapshot = collect.SnapshotOfFrame(fr)
 	ph := fig8Phenomenon(snapshot)
 	c := anomaly.NewCase(snapshot, ph)
-	d := core.Diagnose(c, cases.QueriesOf(coll, snapshot), core.DefaultConfig())
+	d := core.DiagnoseFrame(c, fr, core.DefaultConfig())
 	if len(d.RSQLs) > 0 {
 		out.PinpointedRSQL = d.RSQLs[0].ID
 	}

@@ -75,8 +75,8 @@ func RunTableI(opt cases.Options) (*TableI, error) {
 			a.h = append(a.h, ranked)
 		}
 
-		queries := cases.QueriesOf(lab.Collector, snap)
-		d := core.Diagnose(lab.Case, queries, core.DefaultConfig())
+		fr := lab.Collector.Frame()
+		d := core.DiagnoseFrame(lab.Case, fr, core.DefaultConfig())
 		a := byMethod["PinSQL"]
 		a.timeMs += float64(d.Time.Total().Microseconds()) / 1000
 		stEst += float64(d.Time.EstimateSession.Microseconds()) / 1000

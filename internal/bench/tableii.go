@@ -77,11 +77,10 @@ func RunTableII(seed int64, count, workers int) (*TableII, error) {
 			if err != nil {
 				return g, err
 			}
-			snap := lab.Case.Snapshot
 			as, ae := lab.Case.AS, lab.Case.AE
 
 			// Strategy (a): PinSQL's top R-SQL.
-			d := core.Diagnose(lab.Case, cases.QueriesOf(lab.Collector, snap), core.DefaultConfig())
+			d := core.DiagnoseFrame(lab.Case, lab.Collector.Frame(), core.DefaultConfig())
 			if len(d.RSQLs) > 0 {
 				tres, rows, err := optimizationGain(opt, int64(i), kind, d.RSQLs[0].ID, as, ae)
 				if err != nil {

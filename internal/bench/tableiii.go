@@ -47,20 +47,19 @@ func RunTableIII(seed int64, buckets int) (*TableIII, error) {
 	if err != nil {
 		return nil, err
 	}
-	snap := lab.Case.Snapshot
-	queries := cases.QueriesOf(lab.Collector, snap)
-	observed := snap.ActiveSession
+	fr := lab.Collector.Frame()
+	observed := fr.ActiveSession
 
 	out := &TableIII{Buckets: buckets}
-	byRT := session.EstimateByRT(queries, snap.StartMs, snap.Seconds)
+	byRT := session.EstimateFrameByRT(fr)
 	c, m := byRT.Quality(observed)
 	out.Rows = append(out.Rows, TableIIIRow{Method: "Estimate By RT", Corr: c, MSE: m})
 
-	noBkt := session.EstimateNoBuckets(queries, snap.StartMs, snap.Seconds)
+	noBkt := session.EstimateFrameNoBuckets(fr)
 	c, m = noBkt.Quality(observed)
 	out.Rows = append(out.Rows, TableIIIRow{Method: "Estimate w/o buckets", Corr: c, MSE: m})
 
-	bkt := session.EstimateBuckets(queries, observed, snap.StartMs, snap.Seconds, buckets)
+	bkt := session.EstimateFrameBuckets(fr, observed, buckets, 0)
 	c, m = bkt.Quality(observed)
 	out.Rows = append(out.Rows, TableIIIRow{Method: fmt.Sprintf("Estimate (K=%d)", buckets), Corr: c, MSE: m})
 	return out, nil

@@ -1,0 +1,131 @@
+package caseio
+
+import (
+	"pinsql/internal/anomaly"
+	"pinsql/internal/collect"
+	"pinsql/internal/session"
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/window"
+)
+
+// FromFrame converts an anomaly case plus its window frame into the
+// serializable document, without materializing the legacy map-keyed query
+// table. The rendered bytes are identical to
+// FromCase(c, queries-of-the-same-window): templates are emitted in frame
+// (registry-index) order — the snapshot order FromCase walks — and the
+// query rows follow the frame's ByID permutation, which is exactly the
+// sorted-template-ID order FromCase fixes by sorting the map's keys.
+func FromFrame(c *anomaly.Case, f *window.Frame) *File {
+	out := &File{
+		Version:       CurrentVersion,
+		StartMs:       f.StartMs,
+		Seconds:       f.Seconds,
+		Anomaly:       Window{Start: c.AS, End: c.AE},
+		Rule:          c.Phenomenon.Rule,
+		ActiveSession: f.ActiveSession,
+		CPUUsage:      f.CPUUsage,
+		IOPSUsage:     f.IOPSUsage,
+		MemUsage:      f.MemUsage,
+		RowLockWaits:  f.RowLockWaits,
+		MDLWaits:      f.MDLWaits,
+	}
+	for i := range f.Templates {
+		t := &f.Templates[i]
+		out.Templates = append(out.Templates, Template{
+			ID:      string(t.Meta.ID),
+			SQL:     t.Meta.Text,
+			Table:   t.Meta.Table,
+			Count:   t.Count,
+			SumRT:   t.SumRT,
+			SumRows: t.SumRows,
+		})
+	}
+	for _, pos := range f.ByID {
+		arr, resp := f.Obs(int(pos))
+		id := string(f.Templates[pos].Meta.ID)
+		for i, a := range arr {
+			out.Queries = append(out.Queries, Query{
+				Template:   id,
+				ArrivalMs:  a,
+				ResponseMs: resp[i],
+			})
+		}
+	}
+	for _, hw := range c.History {
+		h := History{DaysAgo: hw.DaysAgo, Counts: make(map[string][]float64, len(hw.Counts))}
+		for id, s := range hw.Counts {
+			h.Counts[string(id)] = s
+		}
+		out.History = append(out.History, h)
+	}
+	return out
+}
+
+// ToFrame reconstructs the case and its columnar window frame from a
+// document — the frame-path counterpart of ToCase. Query rows are grouped
+// by template in file order; rows referencing a template absent from the
+// Templates section are dropped (ToCase keeps them in its map, but the
+// frame's axes are the declared templates — files produced by FromCase /
+// FromFrame never contain such rows). Finalize re-sorts each group by
+// arrival time, so a hand-edited file with out-of-order rows diagnoses as
+// if its rows had been arrival-sorted.
+func (f *File) ToFrame() (*anomaly.Case, *window.Frame, error) {
+	c, queries, err := f.ToCase()
+	if err != nil {
+		return nil, nil, err
+	}
+	fr := frameOf(c.Snapshot, queries)
+	return c, fr, nil
+}
+
+// frameOf assembles a window frame from a snapshot (templates in index
+// order) and the legacy map-keyed query table.
+func frameOf(snap *collect.Snapshot, queries session.Queries) *window.Frame {
+	fr := &window.Frame{
+		Topic:         snap.Topic,
+		StartMs:       snap.StartMs,
+		Seconds:       snap.Seconds,
+		ActiveSession: snap.ActiveSession,
+		AvgSession:    snap.AvgSession,
+		CPUUsage:      snap.CPUUsage,
+		IOPSUsage:     snap.IOPSUsage,
+		MemUsage:      snap.MemUsage,
+		QPS:           snap.QPS,
+		RowLockWaits:  snap.RowLockWaits,
+		MDLWaits:      snap.MDLWaits,
+		Templates:     make([]window.Template, len(snap.Templates)),
+		Off:           make([]int32, len(snap.Templates)+1),
+	}
+	total := 0
+	seen := make(map[sqltemplate.ID]bool, len(snap.Templates))
+	for _, ts := range snap.Templates {
+		if !seen[ts.Meta.ID] {
+			seen[ts.Meta.ID] = true
+			total += len(queries[ts.Meta.ID])
+		}
+	}
+	fr.Arrival = make([]int64, 0, total)
+	fr.Response = make([]float64, 0, total)
+	claimed := make(map[sqltemplate.ID]bool, len(snap.Templates))
+	for i, ts := range snap.Templates {
+		fr.Templates[i] = window.Template{
+			Meta:      window.Meta(ts.Meta),
+			Count:     ts.Count,
+			SumRT:     ts.SumRT,
+			SumRows:   ts.SumRows,
+			Throttled: ts.Throttled,
+		}
+		// A duplicated template ID claims its observations once (first
+		// position wins, matching Snapshot.Template resolution).
+		if obs := queries[ts.Meta.ID]; len(obs) > 0 && !claimed[ts.Meta.ID] {
+			claimed[ts.Meta.ID] = true
+			for _, o := range obs {
+				fr.Arrival = append(fr.Arrival, o.ArrivalMs)
+				fr.Response = append(fr.Response, o.ResponseMs)
+			}
+		}
+		fr.Off[i+1] = int32(len(fr.Arrival))
+	}
+	fr.Finalize()
+	return fr
+}

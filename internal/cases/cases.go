@@ -19,11 +19,11 @@ import (
 	"pinsql/internal/anomaly"
 	"pinsql/internal/collect"
 	"pinsql/internal/dbsim"
-	"pinsql/internal/logstore"
 	"pinsql/internal/parallel"
 	"pinsql/internal/session"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/timeseries"
+	"pinsql/internal/window"
 	"pinsql/internal/workload"
 )
 
@@ -322,16 +322,15 @@ func pickPhenomenon(ps []anomaly.Phenomenon, as, ae int) (anomaly.Phenomenon, bo
 // a template is an H-SQL when its session lift during the anomaly window
 // is material both absolutely and relative to the instance lift.
 func (l *Labeled) labelHSQLs() {
-	snap := l.Case.Snapshot
+	f := l.Collector.Frame()
 	as, ae := l.Case.AS, l.Case.AE
-	queries := QueriesOf(l.Collector, snap)
-	est := session.EstimateNoBuckets(queries, snap.StartMs, snap.Seconds)
+	est := session.EstimateFrameNoBuckets(f)
 
 	instLift := lift(est.Total, as, ae)
 	threshold := math.Max(0.5, 0.05*instLift)
-	for id, s := range est.PerTemplate {
+	for pos, s := range est.PerTemplate {
 		if lift(s, as, ae) >= threshold {
-			l.HSQLs[id] = true
+			l.HSQLs[f.Templates[pos].Meta.ID] = true
 		}
 	}
 }
@@ -344,17 +343,42 @@ func lift(s timeseries.Series, as, ae int) float64 {
 	return s.Slice(as, ae).Mean() - s.Slice(0, as).Mean()
 }
 
-// QueriesOf converts a collector's raw log into the estimator's input,
-// streaming the store's range instead of materializing a copy of it.
+// QueriesOf converts a collector's window into the estimator's legacy
+// map-keyed input. It is a compatibility shim over the collector's window
+// frame: the observation columns accumulated during ingest are flattened
+// into per-ID slices, so the log store is no longer re-scanned. snap must
+// be the collector's own window snapshot (every caller's situation); its
+// bounds are the frame's bounds.
+//
+// Ordering contract: the returned value is a Go map, so iteration order is
+// UNORDERED and differs between runs. Any consumer whose output must be
+// deterministic has to fix an order itself — and every consumer does:
+// session estimators iterate sortedIDs / accumulate per-template,
+// impact.Rank sorts the IDs, and caseio.FromCase sorts template IDs before
+// rendering. Within one template, observations are ordered by arrival time
+// (ties in log insertion order) — the store's scan order. The shuffled
+// insertion regression test in cases_order_test.go guards this contract.
 func QueriesOf(coll *collect.Collector, snap *collect.Snapshot) session.Queries {
-	out := make(session.Queries)
-	reg := coll.Registry()
-	coll.Store().ScanFunc(snap.Topic, snap.StartMs, snap.StartMs+int64(snap.Seconds)*1000,
-		func(r logstore.Record) bool {
-			id := reg.At(r.TemplateIdx).ID
-			out[id] = append(out[id], session.Obs{ArrivalMs: r.ArrivalMs, ResponseMs: r.ResponseMs})
-			return true
-		})
+	return FrameQueries(coll.Frame())
+}
+
+// FrameQueries flattens a frame's observation columns into the legacy
+// map-keyed estimator input. Templates without observations get no entry,
+// matching the historical store-scan behaviour.
+func FrameQueries(f *window.Frame) session.Queries {
+	out := make(session.Queries, len(f.Templates))
+	for pos := range f.Templates {
+		arr, resp := f.Obs(pos)
+		if len(arr) == 0 {
+			continue
+		}
+		obs := make([]session.Obs, len(arr))
+		for i, a := range arr {
+			obs[i] = session.Obs{ArrivalMs: a, ResponseMs: resp[i]}
+		}
+		id := f.Templates[pos].Meta.ID
+		out[id] = append(out[id], obs...)
+	}
 	return out
 }
 

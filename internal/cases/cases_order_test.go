@@ -1,0 +1,123 @@
+package cases
+
+// Regression tests for QueriesOf's ordering contract: within a template the
+// observation slice is sorted by arrival time, with ties preserving the
+// collector's insertion order. The frame shim must keep honoring this even
+// though it no longer re-scans the log store — downstream float summation
+// order (and therefore byte-identical diagnosis output) depends on it.
+
+import (
+	"math/rand"
+	"testing"
+
+	"pinsql/internal/collect"
+	"pinsql/internal/dbsim"
+	"pinsql/internal/sqltemplate"
+)
+
+func TestQueriesOfSortsShuffledInsertions(t *testing.T) {
+	const (
+		templates = 5
+		perTpl    = 40
+		windowMs  = 100_000
+	)
+	type ins struct {
+		tpl     int
+		arrival int64
+		resp    float64
+	}
+	// A shuffled insertion schedule with deliberate arrival collisions
+	// (arrivals quantized to 500ms so ties are frequent).
+	rng := rand.New(rand.NewSource(99))
+	var schedule []ins
+	for tpl := 0; tpl < templates; tpl++ {
+		for i := 0; i < perTpl; i++ {
+			schedule = append(schedule, ins{
+				tpl:     tpl,
+				arrival: int64(rng.Intn(windowMs/500)) * 500,
+				resp:    float64(1 + rng.Intn(1000)),
+			})
+		}
+	}
+	rng.Shuffle(len(schedule), func(i, j int) { schedule[i], schedule[j] = schedule[j], schedule[i] })
+
+	coll := collect.NewCollector("order", 0, windowMs, nil, nil)
+	ids := []string{"TA", "TB", "TC", "TD", "TE"}
+	// wantOrder reproduces the contract by hand: per template, a stable
+	// arrival sort over the insertion sequence.
+	type obs struct {
+		arrival int64
+		resp    float64
+	}
+	want := make(map[string][]obs)
+	for _, s := range schedule {
+		coll.Ingest(dbsim.LogRecord{
+			TemplateID: ids[s.tpl],
+			SQL:        "SELECT " + ids[s.tpl],
+			Table:      "t",
+			Kind:       dbsim.KindSelect,
+			ArrivalMs:  s.arrival,
+			ResponseMs: s.resp,
+		})
+		want[ids[s.tpl]] = append(want[ids[s.tpl]], obs{s.arrival, s.resp})
+	}
+	for _, id := range ids {
+		w := want[id]
+		// Stable insertion-order-preserving sort by arrival.
+		for i := 1; i < len(w); i++ {
+			for j := i; j > 0 && w[j-1].arrival > w[j].arrival; j-- {
+				w[j-1], w[j] = w[j], w[j-1]
+			}
+		}
+	}
+
+	snap := coll.Snapshot()
+	got := QueriesOf(coll, snap)
+	if len(got) != templates {
+		t.Fatalf("queries for %d templates, want %d", len(got), templates)
+	}
+	for _, id := range ids {
+		g := got[sqltemplate.ID(id)]
+		w := want[id]
+		if len(g) != len(w) {
+			t.Fatalf("%s: %d obs, want %d", id, len(g), len(w))
+		}
+		for i := range w {
+			if g[i].ArrivalMs != w[i].arrival || g[i].ResponseMs != w[i].resp {
+				t.Fatalf("%s obs %d = (%d, %g), want (%d, %g) — arrival sort or tie order broken",
+					id, i, g[i].ArrivalMs, g[i].ResponseMs, w[i].arrival, w[i].resp)
+			}
+		}
+	}
+}
+
+// TestQueriesOfMatchesFrameQueries pins the shim: QueriesOf is defined as
+// the flattening of the collector's frame.
+func TestQueriesOfMatchesFrameQueries(t *testing.T) {
+	coll := collect.NewCollector("order", 0, 10_000, nil, nil)
+	for i := 0; i < 50; i++ {
+		coll.Ingest(dbsim.LogRecord{
+			TemplateID: "T" + string(rune('A'+i%3)),
+			SQL:        "SELECT 1",
+			Table:      "t",
+			Kind:       dbsim.KindSelect,
+			ArrivalMs:  int64((50 - i) * 100),
+			ResponseMs: float64(i),
+		})
+	}
+	a := QueriesOf(coll, coll.Snapshot())
+	b := FrameQueries(coll.Frame())
+	if len(a) != len(b) {
+		t.Fatalf("QueriesOf has %d templates, FrameQueries %d", len(a), len(b))
+	}
+	for id, obs := range a {
+		if len(b[id]) != len(obs) {
+			t.Fatalf("%s: %d vs %d obs", id, len(obs), len(b[id]))
+		}
+		for i := range obs {
+			if obs[i] != b[id][i] {
+				t.Fatalf("%s obs %d differs: %+v vs %+v", id, i, obs[i], b[id][i])
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"pinsql/internal/logstore"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/timeseries"
+	"pinsql/internal/window"
 )
 
 // TemplateSeries is the aggregated view of one SQL template over the
@@ -58,16 +59,27 @@ type Snapshot struct {
 	QPS           timeseries.Series
 	RowLockWaits  timeseries.Series
 	MDLWaits      timeseries.Series
+
+	// byID is the lazily built ID→series index behind Template; it sits
+	// on the repair and fig8 hot paths, which resolve templates by ID per
+	// suggestion.
+	byIDOnce sync.Once
+	byID     map[sqltemplate.ID]*TemplateSeries
 }
 
-// Template returns the series for a template ID, or nil.
+// Template returns the series for a template ID, or nil. The lookup index
+// is built once on first use; callers must not grow s.Templates afterwards.
 func (s *Snapshot) Template(id sqltemplate.ID) *TemplateSeries {
-	for _, ts := range s.Templates {
-		if ts.Meta.ID == id {
-			return ts
+	s.byIDOnce.Do(func() {
+		m := make(map[sqltemplate.ID]*TemplateSeries, len(s.Templates))
+		for _, ts := range s.Templates {
+			if _, dup := m[ts.Meta.ID]; !dup { // first match wins, as the linear scan did
+				m[ts.Meta.ID] = ts
+			}
 		}
-	}
-	return nil
+		s.byID = m
+	})
+	return s.byID[id]
 }
 
 // Collector ingests the raw query-log stream and instance metrics of one
@@ -83,9 +95,26 @@ type Collector struct {
 
 	templates map[int32]*TemplateSeries
 
+	// obs accumulates each template's raw observation columns during
+	// Ingest — the same records the store archives, in the same insertion
+	// order — so Frame() never re-scans the store.
+	obs map[int32]*obsColumns
+
 	metrics []dbsim.SecondMetrics
 
 	records int64 // raw query records archived to the store
+
+	// frame caches the last built window frame; any later Ingest or
+	// IngestMetrics invalidates it (mid-window snapshots, as in the Fig. 8
+	// scripted scenario, rebuild on the next Frame call).
+	frame *window.Frame
+}
+
+// obsColumns is one template's in-progress observation columns, appended in
+// log-store insertion order.
+type obsColumns struct {
+	arrival  []int64
+	response []float64
 }
 
 // NewCollector creates a collector for the window [startMs, endMs) on the
@@ -107,6 +136,7 @@ func NewCollector(topic string, startMs, endMs int64, registry *Registry, store 
 		registry:  registry,
 		store:     store,
 		templates: make(map[int32]*TemplateSeries),
+		obs:       make(map[int32]*obsColumns),
 	}
 }
 
@@ -145,6 +175,7 @@ func (c *Collector) Ingest(rec dbsim.LogRecord) {
 	}
 	if rec.Throttled {
 		ts.Throttled[sec]++
+		c.frame = nil
 		c.mu.Unlock()
 		return
 	}
@@ -152,18 +183,31 @@ func (c *Collector) Ingest(rec dbsim.LogRecord) {
 	ts.SumRT[sec] += rec.ResponseMs
 	ts.SumRows[sec] += float64(rec.ExaminedRows)
 	c.records++
-	c.mu.Unlock()
+
+	// Observation columns for the window frame: the same record the store
+	// archives below, in the same order.
+	col, ok := c.obs[meta.Index]
+	if !ok {
+		col = &obsColumns{}
+		c.obs[meta.Index] = col
+	}
+	col.arrival = append(col.arrival, rec.ArrivalMs)
+	col.response = append(col.response, rec.ResponseMs)
+	c.frame = nil
 
 	// Raw record for the log store (session estimation needs per-query
 	// start and response times, §IV-C). Loose append: records are emitted
 	// at completion, so lock-delayed statements arrive far out of arrival
-	// order.
+	// order. Appended under c.mu so the column order above always equals
+	// the store's insertion order — the tie-break order both sides of the
+	// frame/legacy equivalence rely on.
 	c.store.AppendLoose(c.topic, logstore.Record{
 		TemplateIdx:  meta.Index,
 		ArrivalMs:    rec.ArrivalMs,
 		ResponseMs:   rec.ResponseMs,
 		ExaminedRows: rec.ExaminedRows,
 	})
+	c.mu.Unlock()
 }
 
 // IngestMetrics stores the instance's per-second performance metrics. The
@@ -172,6 +216,7 @@ func (c *Collector) IngestMetrics(rows []dbsim.SecondMetrics) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.metrics = append(c.metrics, rows...)
+	c.frame = nil
 }
 
 // Snapshot assembles the aggregated window view. It is safe to call while
@@ -219,6 +264,112 @@ func (c *Collector) Snapshot() *Snapshot {
 	}
 	// Deterministic order: by registry index.
 	sortTemplates(snap.Templates)
+	return snap
+}
+
+// Frame assembles (and caches) the collection window as a columnar
+// window.Frame — per-template aggregates, observation columns grouped by
+// template position, the metric series, and the ByID permutation. The
+// frame is built from data accumulated during Ingest; the log store is
+// never re-scanned. Like Snapshot, the frame's series are copies: further
+// ingestion invalidates the cache instead of mutating a returned frame.
+func (c *Collector) Frame() *window.Frame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.frame != nil {
+		return c.frame
+	}
+
+	f := &window.Frame{
+		Topic:         c.topic,
+		StartMs:       c.startMs,
+		Seconds:       c.seconds,
+		ActiveSession: make(timeseries.Series, c.seconds),
+		AvgSession:    make(timeseries.Series, c.seconds),
+		CPUUsage:      make(timeseries.Series, c.seconds),
+		IOPSUsage:     make(timeseries.Series, c.seconds),
+		MemUsage:      make(timeseries.Series, c.seconds),
+		QPS:           make(timeseries.Series, c.seconds),
+		RowLockWaits:  make(timeseries.Series, c.seconds),
+		MDLWaits:      make(timeseries.Series, c.seconds),
+	}
+	for i, m := range c.metrics {
+		if i >= c.seconds {
+			break
+		}
+		f.ActiveSession[i] = m.ActiveSession
+		f.AvgSession[i] = m.AvgActiveSession
+		f.CPUUsage[i] = m.CPUUsage
+		f.IOPSUsage[i] = m.IOPSUsage
+		f.MemUsage[i] = m.MemUsage
+		f.QPS[i] = float64(m.QPS)
+		f.RowLockWaits[i] = float64(m.RowLockWaits)
+		f.MDLWaits[i] = float64(m.MDLWaits)
+	}
+
+	ordered := make([]*TemplateSeries, 0, len(c.templates))
+	for _, ts := range c.templates {
+		ordered = append(ordered, ts)
+	}
+	sortTemplates(ordered)
+
+	total := 0
+	for _, col := range c.obs {
+		total += len(col.arrival)
+	}
+	f.Templates = make([]window.Template, len(ordered))
+	f.Off = make([]int32, len(ordered)+1)
+	f.Arrival = make([]int64, 0, total)
+	f.Response = make([]float64, 0, total)
+	for i, ts := range ordered {
+		f.Templates[i] = window.Template{
+			Meta:      window.Meta(ts.Meta),
+			Count:     ts.Count.Clone(),
+			SumRT:     ts.SumRT.Clone(),
+			SumRows:   ts.SumRows.Clone(),
+			Throttled: ts.Throttled.Clone(),
+		}
+		if col := c.obs[ts.Meta.Index]; col != nil {
+			f.Arrival = append(f.Arrival, col.arrival...)
+			f.Response = append(f.Response, col.response...)
+		}
+		f.Off[i+1] = int32(len(f.Arrival))
+	}
+	f.Finalize()
+	c.frame = f
+	return f
+}
+
+// SnapshotOfFrame derives a Snapshot view from a frame for code that still
+// speaks the legacy aggregate type (the anomaly detector's NewCase, repair
+// suggestion rules, Top-SQL baselines). The snapshot shares the frame's
+// series — treat it as read-only; mutating callers must use
+// Collector.Snapshot, which clones.
+func SnapshotOfFrame(f *window.Frame) *Snapshot {
+	snap := &Snapshot{
+		Topic:         f.Topic,
+		StartMs:       f.StartMs,
+		Seconds:       f.Seconds,
+		ActiveSession: f.ActiveSession,
+		AvgSession:    f.AvgSession,
+		CPUUsage:      f.CPUUsage,
+		IOPSUsage:     f.IOPSUsage,
+		MemUsage:      f.MemUsage,
+		QPS:           f.QPS,
+		RowLockWaits:  f.RowLockWaits,
+		MDLWaits:      f.MDLWaits,
+		Templates:     make([]*TemplateSeries, len(f.Templates)),
+	}
+	for i := range f.Templates {
+		t := &f.Templates[i]
+		snap.Templates[i] = &TemplateSeries{
+			Meta:      TemplateMeta(t.Meta),
+			Count:     t.Count,
+			SumRT:     t.SumRT,
+			SumRows:   t.SumRows,
+			Throttled: t.Throttled,
+		}
+	}
 	return snap
 }
 

@@ -109,8 +109,11 @@ type Diagnosis struct {
 	HSQLs []impact.Score        // ranked H-SQL list
 	RSQLs []rootcause.Candidate // ranked R-SQL list
 	Root  *rootcause.Result     // full R-SQL module output
-	Est   *session.Estimate     // individual active sessions
-	Time  Timing
+	Est   *session.Estimate     // individual active sessions (legacy path)
+	// FrameEst holds the position-keyed estimate when the diagnosis ran
+	// through DiagnoseFrame; Est stays nil on that path.
+	FrameEst *session.FrameEstimate
+	Time     Timing
 }
 
 // HSQLIDs returns the ranked H-SQL template IDs.

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"time"
+
+	"pinsql/internal/anomaly"
+	"pinsql/internal/impact"
+	"pinsql/internal/rootcause"
+	"pinsql/internal/session"
+	"pinsql/internal/timeseries"
+	"pinsql/internal/window"
+)
+
+// DiagnoseFrame runs the full pipeline on an anomaly case using the
+// columnar window frame as its only data source — no log-store re-scan, no
+// map-keyed intermediate tables. Template identity stays a frame position
+// through estimation, H-SQL ranking and R-SQL clustering; string template
+// IDs appear only in the returned Diagnosis.
+//
+// The frame must be the window the case was detected on (c.Snapshot built
+// from the same collector state, e.g. via collect.SnapshotOfFrame). Output
+// is byte-identical to Diagnose(c, queries, cfg) with queries drawn from
+// the same window: every float accumulation runs in the same order the
+// legacy path fixed by sorting (see window.Frame's ByID contract).
+func DiagnoseFrame(c *anomaly.Case, f *window.Frame, cfg Config) *Diagnosis {
+	cfg = cfg.withDefaults()
+	d := &Diagnosis{}
+
+	// Stage 1: individual active session estimation (§IV-C), keyed by
+	// frame position.
+	start := time.Now()
+	var sessions []timeseries.Series
+	if cfg.NoEstimateSession {
+		// Ablation: aggregated response time as the session proxy.
+		sessions = make([]timeseries.Series, len(f.Templates))
+		for pos := range f.Templates {
+			sumRT := f.Templates[pos].SumRT
+			s := make(timeseries.Series, len(sumRT))
+			for i, v := range sumRT {
+				s[i] = v / 1000
+			}
+			sessions[pos] = s
+		}
+	} else {
+		fe := session.EstimateFrameBuckets(f, f.ActiveSession, cfg.Buckets, cfg.Workers)
+		d.FrameEst = fe
+		sessions = fe.PerTemplate
+	}
+	d.Time.EstimateSession = time.Since(start)
+
+	// Stage 2: H-SQL identification (§V).
+	start = time.Now()
+	iopt := impact.Options{
+		SmoothKs:      cfg.SmoothKs,
+		UseTrend:      !cfg.NoTrendLevel,
+		UseScale:      !cfg.NoScaleLevel,
+		UseScaleTrend: !cfg.NoScaleTrendLevel,
+		WeightedScore: !cfg.NoWeightedFinalScore,
+		Workers:       cfg.Workers,
+	}
+	d.HSQLs = impact.RankFrame(f, sessions, f.ActiveSession, c.AS, c.AE, iopt)
+	d.Time.RankHSQL = time.Since(start)
+
+	// Stage 3: R-SQL identification (§VI). The cluster input is assembled
+	// in frame order (ascending registry index — the same order the legacy
+	// path walks snap.Templates in).
+	impactByPos := make([]float64, len(f.Templates))
+	for i := range d.HSQLs {
+		impactByPos[d.HSQLs[i].Pos] = d.HSQLs[i].Impact
+	}
+	templates := make([]rootcause.Template, len(f.Templates))
+	for pos := range f.Templates {
+		t := &f.Templates[pos]
+		score := impactByPos[pos]
+		if cfg.NoDirectCauseRanking {
+			// Ablation: the best Top-SQL baseline (Top-RT) replaces the
+			// H-SQL impact for cluster ranking.
+			score = t.SumRT.Slice(c.AS, c.AE).Sum()
+		}
+		templates[pos] = rootcause.Template{
+			ID:      t.Meta.ID,
+			Exec:    t.Count,
+			Session: sessions[pos],
+			Impact:  score,
+		}
+	}
+	var metricNodes map[string]timeseries.Series
+	if cfg.IncludeMetricTempNodes {
+		metricNodes = map[string]timeseries.Series{
+			anomaly.MetricCPUUsage:     f.CPUUsage,
+			anomaly.MetricIOPSUsage:    f.IOPSUsage,
+			anomaly.MetricRowLockWaits: f.RowLockWaits,
+			anomaly.MetricMDLWaits:     f.MDLWaits,
+		}
+	}
+	history := make([]rootcause.HistoryWindow, 0, len(c.History))
+	for _, hw := range c.History {
+		history = append(history, rootcause.HistoryWindow{DaysAgo: hw.DaysAgo, Counts: hw.Counts})
+	}
+	ropt := rootcause.Options{
+		Tau:                    cfg.Tau,
+		TauC:                   cfg.TauC,
+		Kc:                     cfg.Kc,
+		TukeyK:                 cfg.TukeyK,
+		UseCumulativeThreshold: !cfg.NoCumulativeThreshold,
+		UseHistoryVerification: !cfg.NoHistoryVerification,
+		Workers:                cfg.Workers,
+	}
+	in := rootcause.Input{
+		Templates:   templates,
+		Metrics:     metricNodes,
+		InstSession: f.ActiveSession,
+		AS:          c.AS,
+		AE:          c.AE,
+		History:     history,
+	}
+	d.Root = rootcause.Identify(in, ropt)
+	d.RSQLs = d.Root.Ranked
+	d.Time.ClusterFilter = d.Root.ClusterDur
+	d.Time.VerifyRank = d.Root.VerifyDur
+	return d
+}

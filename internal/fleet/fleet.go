@@ -8,9 +8,9 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"time"
 
 	"pinsql/internal/anomaly"
-	"pinsql/internal/cases"
 	"pinsql/internal/collect"
 	"pinsql/internal/core"
 	"pinsql/internal/dbsim"
@@ -141,6 +141,12 @@ type Fleet struct {
 	det    *anomaly.Detector
 	mod    *repair.Module
 
+	// stages are the fleet-wide per-stage wall-clock summaries exported on
+	// /metrics as pinsql_stage_duration_seconds{stage=...}.
+	stages struct {
+		collect, detect, diagnose, commit *obs.Summary
+	}
+
 	started  bool
 	draining bool
 	dead     bool // crash hook fired: abandon all state, leave files as killed
@@ -267,6 +273,11 @@ func (f *Fleet) openInstance(spec InstanceSpec) (*instState, error) {
 // obs registry.
 func (f *Fleet) registerMetrics() {
 	m := f.opt.Metrics
+	const stageHelp = "Wall-clock time spent per pipeline stage, fleet-wide."
+	f.stages.collect = m.Summary("pinsql_stage_duration_seconds", stageHelp, obs.L("stage", "collect"))
+	f.stages.detect = m.Summary("pinsql_stage_duration_seconds", stageHelp, obs.L("stage", "detect"))
+	f.stages.diagnose = m.Summary("pinsql_stage_duration_seconds", stageHelp, obs.L("stage", "diagnose"))
+	f.stages.commit = m.Summary("pinsql_stage_duration_seconds", stageHelp, obs.L("stage", "commit"))
 	for _, id := range f.ids {
 		st := f.insts[id]
 		lbl := obs.L("instance", id)
@@ -345,7 +356,9 @@ func (f *Fleet) maybeScheduleDrain(st *instState) {
 // runSim simulates window w and stages its output, shedding the oldest
 // queued window when the queue is full — the simulator is never blocked.
 func (f *Fleet) runSim(st *instState, w int) {
+	start := time.Now()
 	sw, err := f.simWindow(st, w)
+	f.stages.collect.Observe(time.Since(start).Seconds())
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st.simActive = false
@@ -449,7 +462,9 @@ func (f *Fleet) runDrain(st *instState) {
 	} else {
 		f.diagnose(sw)
 	}
+	start := time.Now()
 	err := f.commit(st, sw)
+	f.stages.commit.Observe(time.Since(start).Seconds())
 
 	f.mu.Lock()
 	st.drainActive = false
@@ -474,18 +489,27 @@ func (f *Fleet) runDrain(st *instState) {
 }
 
 // diagnose runs detection and, per phenomenon, the full diagnosis
-// pipeline plus repair suggestions for the top R-SQL.
+// pipeline plus repair suggestions for the top R-SQL. Everything runs off
+// the window frame the collector built during ingest: detection reads the
+// frame's metric series, and each phenomenon's diagnosis consumes the
+// frame directly — the staged log store is never re-scanned (the legacy
+// path re-scanned it once per phenomenon).
 func (f *Fleet) diagnose(sw *stagedWindow) {
-	snap := sw.coll.Snapshot()
+	fr := sw.coll.Frame()
+	snap := collect.SnapshotOfFrame(fr)
+	start := time.Now()
 	phenomena := f.det.DetectPhenomena(map[string]timeseries.Series{
-		anomaly.MetricActiveSession: snap.ActiveSession,
-		anomaly.MetricCPUUsage:      snap.CPUUsage,
-		anomaly.MetricIOPSUsage:     snap.IOPSUsage,
+		anomaly.MetricActiveSession: fr.ActiveSession,
+		anomaly.MetricCPUUsage:      fr.CPUUsage,
+		anomaly.MetricIOPSUsage:     fr.IOPSUsage,
 	}, anomaly.DefaultRules())
+	f.stages.detect.Observe(time.Since(start).Seconds())
+	start = time.Now()
+	defer func() { f.stages.diagnose.Observe(time.Since(start).Seconds()) }()
 	baseSec := int(sw.fromMs / 1000)
 	for _, ph := range phenomena {
 		c := anomaly.NewCase(snap, ph)
-		d := core.Diagnose(c, cases.QueriesOf(sw.coll, snap), f.diagCfg)
+		d := core.DiagnoseFrame(c, fr, f.diagCfg)
 		ar := AnomalyReport{Rule: ph.Rule, StartSec: baseSec + ph.Start, EndSec: baseSec + ph.End}
 		for i, cand := range d.RSQLs {
 			if i == 3 {

@@ -1,0 +1,68 @@
+package fleet
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// TestStageDurationMetrics runs a small fleet to completion and checks the
+// per-stage wall-clock summaries on /metrics: every stage present, counts
+// consistent with the number of processed windows, sums non-negative.
+func TestStageDurationMetrics(t *testing.T) {
+	specs := DefaultFleet(2, 5, 2, 300)
+	f, err := New(specs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Start()
+	if err := f.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	counts := make(map[string]int64)
+	for _, stage := range []string{"collect", "detect", "diagnose", "commit"} {
+		sumRe := regexp.MustCompile(`pinsql_stage_duration_seconds_sum\{stage="` + stage + `"\} (\S+)`)
+		cntRe := regexp.MustCompile(`pinsql_stage_duration_seconds_count\{stage="` + stage + `"\} (\d+)`)
+		sm := sumRe.FindStringSubmatch(text)
+		cm := cntRe.FindStringSubmatch(text)
+		if sm == nil || cm == nil {
+			t.Fatalf("stage %q missing from /metrics:\n%s", stage, text)
+		}
+		sum, err := strconv.ParseFloat(sm[1], 64)
+		if err != nil || sum < 0 {
+			t.Fatalf("stage %q sum = %q", stage, sm[1])
+		}
+		n, err := strconv.ParseInt(cm[1], 10, 64)
+		if err != nil || n <= 0 {
+			t.Fatalf("stage %q count = %q", stage, cm[1])
+		}
+		counts[stage] = n
+	}
+
+	// Every simulated window goes through collect and commit exactly once;
+	// detect and diagnose run once per diagnosed window.
+	if counts["collect"] != counts["commit"] {
+		t.Errorf("collect count %d != commit count %d", counts["collect"], counts["commit"])
+	}
+	if counts["detect"] != counts["diagnose"] {
+		t.Errorf("detect count %d != diagnose count %d", counts["detect"], counts["diagnose"])
+	}
+}

@@ -1,0 +1,77 @@
+package impact
+
+import (
+	"sort"
+
+	"pinsql/internal/parallel"
+	"pinsql/internal/timeseries"
+	"pinsql/internal/window"
+)
+
+// RankFrame is Rank over a window frame: sessions[pos] is the estimated
+// individual active session of frame template pos (one entry per template,
+// as produced by session.EstimateFrameBuckets). Scoring iterates the
+// frame's ByID permutation — the same ascending-template-ID order the
+// legacy map-keyed Rank fixes by sorting — so masses, normalization,
+// α/β selection and the final stable sort see identical inputs and the
+// ranking is byte-identical to the legacy path. Each returned Score
+// carries its frame position for index-first downstream stages.
+func RankFrame(f *window.Frame, sessions []timeseries.Series, instSession timeseries.Series, as, ae int, opt Options) []Score {
+	if len(sessions) == 0 {
+		return nil
+	}
+	n := len(instSession)
+	weight := timeseries.SigmoidWeight(n, as, ae, opt.SmoothKs)
+
+	// Scale-level: anomaly-window session mass per template, min-max
+	// normalized across templates and mapped into [-1, 1].
+	masses := make(timeseries.Series, len(f.ByID))
+	for i, pos := range f.ByID {
+		masses[i] = sessions[pos].Slice(as, ae).Sum()
+	}
+	norm := masses.MinMax()
+
+	scores := make([]Score, len(f.ByID))
+	parallel.ForEach(opt.Workers, len(f.ByID), func(i int) {
+		pos := f.ByID[i]
+		s := sessions[pos]
+		trend, _ := timeseries.WeightedCorr(s, instSession, weight)
+		ratio, _ := s.Div(instSession)
+		scaleTrend, _ := timeseries.Corr(ratio, instSession)
+		scores[i] = Score{
+			ID:         f.Templates[pos].Meta.ID,
+			Pos:        int(pos),
+			Trend:      trend,
+			Scale:      2*norm[i] - 1,
+			ScaleTrend: scaleTrend,
+		}
+	})
+	var maxIdx int
+	for i := range masses {
+		if masses[i] > masses[maxIdx] {
+			maxIdx = i
+		}
+	}
+
+	alpha, beta := 1.0, 1.0
+	if opt.WeightedScore {
+		a, _ := timeseries.Corr(sessions[f.ByID[maxIdx]], instSession)
+		alpha, beta = a, -a
+	}
+	for i := range scores {
+		var impact float64
+		if opt.UseTrend {
+			impact += beta * scores[i].Trend
+		}
+		if opt.UseScaleTrend {
+			impact += scores[i].ScaleTrend
+		}
+		if opt.UseScale {
+			impact += alpha * scores[i].Scale
+		}
+		scores[i].Impact = impact
+	}
+
+	sort.SliceStable(scores, func(i, j int) bool { return scores[i].Impact > scores[j].Impact })
+	return scores
+}

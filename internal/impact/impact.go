@@ -61,6 +61,7 @@ func DefaultOptions() Options {
 // Score is one template's H-SQL scoring breakdown.
 type Score struct {
 	ID         sqltemplate.ID
+	Pos        int // frame position (RankFrame); -1 on the legacy map path
 	Trend      float64
 	Scale      float64
 	ScaleTrend float64
@@ -103,6 +104,7 @@ func Rank(sessions map[sqltemplate.ID]timeseries.Series, instSession timeseries.
 		scaleTrend, _ := timeseries.Corr(ratio, instSession)
 		scores[i] = Score{
 			ID:         ids[i],
+			Pos:        -1,
 			Trend:      trend,
 			Scale:      2*norm[i] - 1,
 			ScaleTrend: scaleTrend,

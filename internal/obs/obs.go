@@ -1,6 +1,7 @@
 // Package obs is a minimal metrics registry for the fleet control plane:
-// counters, gauges and callback gauges with optional label pairs, rendered
-// in the Prometheus text exposition format. It is stdlib-only and
+// counters, gauges, callback gauges and count/sum summaries (per-stage
+// durations) with optional label pairs, rendered in the Prometheus text
+// exposition format. It is stdlib-only and
 // deliberately small — the fleet needs a handful of counters (windows
 // processed, anomalies, shed windows, broker drops, registry cache
 // hits/misses) and queue-depth gauges, not a client library.
@@ -60,10 +61,35 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Summary is a count+sum pair — enough to derive rates and mean durations
+// from scrapes (the fleet's per-stage wall-clock metrics). It renders as a
+// Prometheus summary with no quantiles: <name>_count and <name>_sum.
+type Summary struct {
+	mu    sync.Mutex
+	count int64
+	sum   float64
+}
+
+// Observe records one value (e.g. a stage duration in seconds).
+func (s *Summary) Observe(v float64) {
+	s.mu.Lock()
+	s.count++
+	s.sum += v
+	s.mu.Unlock()
+}
+
+// Value returns the current observation count and sum.
+func (s *Summary) Value() (count int64, sum float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count, s.sum
+}
+
 // series is one labelled time series inside a family.
 type series struct {
-	read  func() float64
-	isInt bool // render as an integer (counters)
+	read    func() float64
+	isInt   bool     // render as an integer (counters)
+	summary *Summary // non-nil for summary families (renders two lines)
 }
 
 // family is one metric name with its type and series.
@@ -162,6 +188,21 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return g
 }
 
+// Summary returns the summary for name+labels, creating it on first use;
+// repeated registrations return the same summary.
+func (r *Registry) Summary(name, help string, labels ...Label) *Summary {
+	f := r.getFamily(name, help, "summary")
+	lb := renderLabels(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byLabel[lb]; ok && s.summary != nil {
+		return s.summary
+	}
+	s := &Summary{}
+	f.byLabel[lb] = &series{summary: s}
+	return s
+}
+
 // CounterFunc registers a callback counter for cumulative values that
 // already live elsewhere (a broker's drop count, a cache's hit count):
 // fn is invoked at scrape time and must be monotonically non-decreasing.
@@ -211,6 +252,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		lines := make([]string, 0, len(lbs))
 		for _, lb := range lbs {
 			s := f.byLabel[lb]
+			if s.summary != nil {
+				count, sum := s.summary.Value()
+				lines = append(lines,
+					f.name+"_sum"+lb+" "+strconv.FormatFloat(sum, 'g', -1, 64),
+					f.name+"_count"+lb+" "+strconv.FormatInt(count, 10))
+				continue
+			}
 			v := s.read()
 			var val string
 			if s.isInt {

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSummaryObserveAndValue(t *testing.T) {
+	var s Summary
+	s.Observe(0.25)
+	s.Observe(0.75)
+	s.Observe(1)
+	count, sum := s.Value()
+	if count != 3 || sum != 2 {
+		t.Fatalf("Value = (%d, %g), want (3, 2)", count, sum)
+	}
+}
+
+func TestSummaryIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Summary("s_seconds", "", L("stage", "collect"))
+	b := r.Summary("s_seconds", "", L("stage", "collect"))
+	if a != b {
+		t.Fatal("same name+labels must return the same summary")
+	}
+	if c := r.Summary("s_seconds", "", L("stage", "detect")); c == a {
+		t.Fatal("distinct labels must return distinct summaries")
+	}
+}
+
+// TestSummaryRendering locks the two-line exposition of a summary family:
+// <name>_sum and <name>_count per label set, under one TYPE header.
+func TestSummaryRendering(t *testing.T) {
+	r := NewRegistry()
+	r.Summary("pinsql_stage_duration_seconds", "Per-stage wall-clock.", L("stage", "diagnose")).Observe(0.5)
+	s := r.Summary("pinsql_stage_duration_seconds", "Per-stage wall-clock.", L("stage", "collect"))
+	s.Observe(1.25)
+	s.Observe(0.25)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP pinsql_stage_duration_seconds Per-stage wall-clock.
+# TYPE pinsql_stage_duration_seconds summary
+pinsql_stage_duration_seconds_sum{stage="collect"} 1.5
+pinsql_stage_duration_seconds_count{stage="collect"} 2
+pinsql_stage_duration_seconds_sum{stage="diagnose"} 0.5
+pinsql_stage_duration_seconds_count{stage="diagnose"} 1
+`
+	if b.String() != want {
+		t.Fatalf("rendering mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestSummaryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m_total as a summary should panic")
+		}
+	}()
+	r.Summary("m_total", "")
+}
+
+func TestSummaryConcurrentObserve(t *testing.T) {
+	var s Summary
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	count, sum := s.Value()
+	if count != 8000 {
+		t.Fatalf("count = %d, want 8000", count)
+	}
+	if sum < 7.99 || sum > 8.01 {
+		t.Fatalf("sum = %g, want ≈ 8", sum)
+	}
+}

@@ -1,0 +1,204 @@
+package session
+
+import (
+	"pinsql/internal/parallel"
+	"pinsql/internal/timeseries"
+	"pinsql/internal/window"
+)
+
+// FrameEstimate is a session estimation whose per-template axis is keyed by
+// frame position (0..T-1) instead of template ID — the index-first
+// counterpart of Estimate. PerTemplate has one series per frame template,
+// including all-zero series for templates with no logged observations.
+type FrameEstimate struct {
+	PerTemplate []timeseries.Series
+	Total       timeseries.Series
+	SelBucket   []int
+}
+
+// Quality reports the two Table III metrics — Pearson correlation and MSE —
+// between the estimated total and the observed instance active session.
+func (e *FrameEstimate) Quality(observed timeseries.Series) (corr, mse float64) {
+	n := len(e.Total)
+	if len(observed) < n {
+		n = len(observed)
+	}
+	corr, _ = timeseries.Corr(e.Total[:n], observed[:n])
+	mse, _ = timeseries.MSE(e.Total[:n], observed[:n])
+	return corr, mse
+}
+
+// EstimateFrameByRT is EstimateByRT over a window frame: total response
+// time per arrival second as the session proxy.
+func EstimateFrameByRT(f *window.Frame) *FrameEstimate {
+	est := newFrameEstimate(f)
+	for pos := range f.Templates {
+		s := est.PerTemplate[pos]
+		arr, resp := f.Obs(pos)
+		for i, a := range arr {
+			sec := int((a - f.StartMs) / 1000)
+			if a < f.StartMs || sec >= f.Seconds {
+				continue
+			}
+			s[sec] += resp[i] / 1000
+		}
+	}
+	est.sumTotal(f)
+	return est
+}
+
+// EstimateFrameNoBuckets is EstimateNoBuckets over a window frame: the
+// expected active session over each whole second.
+func EstimateFrameNoBuckets(f *window.Frame) *FrameEstimate {
+	est := newFrameEstimate(f)
+	for pos := range f.Templates {
+		accumulateFrame(est.PerTemplate[pos], f, pos, func(sec int) (float64, float64) {
+			lo := float64(f.StartMs + int64(sec)*1000)
+			return lo, lo + 1000
+		})
+	}
+	est.sumTotal(f)
+	return est
+}
+
+// EstimateFrameBuckets is the paper's bucketed estimator (§IV-C) over a
+// window frame, with the pipeline's Workers knob. It mirrors
+// EstimateBucketsWorkers stage for stage — the per-second candidate lists
+// are filled in ascending-template-ID (ByID) order, bucket totals and
+// selection are sharded by second, and per-template accumulation is sharded
+// by template — so its output is bit-identical to the legacy map-keyed
+// estimator for every worker count.
+func EstimateFrameBuckets(f *window.Frame, observed timeseries.Series, k, workers int) *FrameEstimate {
+	if k <= 0 {
+		k = DefaultBuckets
+	}
+	est := newFrameEstimate(f)
+	seconds := f.Seconds
+	if seconds <= 0 {
+		return est
+	}
+	bucketLen := 1000.0 / float64(k)
+
+	// Per-second index of the observations whose active interval touches
+	// each second, in ByID order so every second's accumulation order is
+	// identical to the legacy sorted-map walk. Counted first, then filled
+	// into one flat arena — no per-second append growth.
+	counts := make([]int32, seconds+1)
+	forEachSpan(f, func(obsIdx int32, first, last int) {
+		for sec := first; sec <= last; sec++ {
+			counts[sec+1]++
+		}
+	})
+	for sec := 1; sec <= seconds; sec++ {
+		counts[sec] += counts[sec-1]
+	}
+	perSecOff := counts
+	arena := make([]int32, perSecOff[seconds])
+	next := make([]int32, seconds)
+	forEachSpan(f, func(obsIdx int32, first, last int) {
+		for sec := first; sec <= last; sec++ {
+			arena[perSecOff[sec]+next[sec]] = obsIdx
+			next[sec]++
+		}
+	})
+
+	// Pass 1+2 fused and sharded by second: expected total session per
+	// bucket, then selection against the observed SHOW STATUS value.
+	parallel.Blocks(workers, seconds, func(lo, hi int) {
+		totals := make([]float64, k)
+		for sec := lo; sec < hi; sec++ {
+			for b := range totals {
+				totals[b] = 0
+			}
+			base := float64(f.StartMs + int64(sec)*1000)
+			for _, oi := range arena[perSecOff[sec]:perSecOff[sec+1]] {
+				q := Obs{ArrivalMs: f.Arrival[oi], ResponseMs: f.Response[oi]}
+				for b := 0; b < k; b++ {
+					blo := base + float64(b)*bucketLen
+					if ov := overlapMs(q, blo, blo+bucketLen); ov > 0 {
+						totals[b] += ov / bucketLen
+					}
+				}
+			}
+			var target float64
+			if sec < len(observed) {
+				target = observed[sec]
+			}
+			best, bestDiff := 0, abs(totals[0]-target)
+			for b := 1; b < k; b++ {
+				if d := abs(totals[b] - target); d < bestDiff {
+					best, bestDiff = b, d
+				}
+			}
+			est.SelBucket[sec] = best
+		}
+	})
+
+	// Pass 3: per-template expectation inside the selected bucket, sharded
+	// by template — each worker writes only the series it owns.
+	parallel.ForEach(workers, len(f.Templates), func(pos int) {
+		accumulateFrame(est.PerTemplate[pos], f, pos, func(sec int) (float64, float64) {
+			lo := float64(f.StartMs+int64(sec)*1000) + float64(est.SelBucket[sec])*bucketLen
+			return lo, lo + bucketLen
+		})
+	})
+	est.sumTotal(f)
+	return est
+}
+
+// forEachSpan walks every observation in ByID template order and reports
+// its clamped window-second span (empty spans are skipped).
+func forEachSpan(f *window.Frame, fn func(obsIdx int32, first, last int)) {
+	for _, pos := range f.ByID {
+		lo, hi := f.Off[pos], f.Off[pos+1]
+		for oi := lo; oi < hi; oi++ {
+			first, last := secondSpan(Obs{ArrivalMs: f.Arrival[oi], ResponseMs: f.Response[oi]}, f.StartMs, f.Seconds)
+			if first > last {
+				continue
+			}
+			fn(oi, first, last)
+		}
+	}
+}
+
+// accumulateFrame adds template pos's observation probabilities to s for
+// every second each observation spans, using the period from periodOf.
+func accumulateFrame(s timeseries.Series, f *window.Frame, pos int, periodOf func(sec int) (float64, float64)) {
+	arr, resp := f.Obs(pos)
+	for i, a := range arr {
+		q := Obs{ArrivalMs: a, ResponseMs: resp[i]}
+		first, last := secondSpan(q, f.StartMs, f.Seconds)
+		for sec := first; sec <= last; sec++ {
+			lo, hi := periodOf(sec)
+			if ov := overlapMs(q, lo, hi); ov > 0 {
+				s[sec] += ov / (hi - lo)
+			}
+		}
+	}
+}
+
+func newFrameEstimate(f *window.Frame) *FrameEstimate {
+	est := &FrameEstimate{
+		PerTemplate: make([]timeseries.Series, len(f.Templates)),
+		Total:       make(timeseries.Series, f.Seconds),
+		SelBucket:   make([]int, f.Seconds),
+	}
+	for i := range est.SelBucket {
+		est.SelBucket[i] = -1
+	}
+	for pos := range est.PerTemplate {
+		est.PerTemplate[pos] = make(timeseries.Series, f.Seconds)
+	}
+	return est
+}
+
+// sumTotal accumulates Total in ByID order — the same ascending-template-ID
+// float-addition order as Estimate.sumTotal. Templates without
+// observations contribute exact zeros, so including them changes no bits.
+func (e *FrameEstimate) sumTotal(f *window.Frame) {
+	for _, pos := range f.ByID {
+		for i, v := range e.PerTemplate[pos] {
+			e.Total[i] += v
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package session
+
+// Differential tests: the frame estimators must reproduce the legacy
+// map-keyed estimators bit for bit — same per-template series, same total,
+// same bucket selection — when both see the same observations in the same
+// per-template order (the arrival-sorted order the frame fixes).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+	"pinsql/internal/window"
+)
+
+// frameFromQueries builds a window frame over the given query log with the
+// templates deliberately laid out in DESCENDING ID order, so the ByID
+// permutation is a real reordering and any iteration-order mistake in the
+// frame estimators shows up as a bit difference.
+func frameFromQueries(q Queries, startMs int64, seconds int) *window.Frame {
+	ids := make([]string, 0, len(q))
+	for id := range q {
+		ids = append(ids, string(id))
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(ids)))
+	f := &window.Frame{
+		Topic:   "differential",
+		StartMs: startMs,
+		Seconds: seconds,
+		Off:     make([]int32, 1, len(ids)+1),
+	}
+	for i, id := range ids {
+		f.Templates = append(f.Templates, window.Template{
+			Meta: window.Meta{Index: int32(i), ID: sqltemplate.ID(id)},
+		})
+		for _, o := range q[sqltemplate.ID(id)] {
+			f.Arrival = append(f.Arrival, o.ArrivalMs)
+			f.Response = append(f.Response, o.ResponseMs)
+		}
+		f.Off = append(f.Off, int32(len(f.Arrival)))
+	}
+	f.Finalize()
+	return f
+}
+
+// queriesOfFrame flattens the frame back into the legacy map — the
+// arrival-sorted per-template order both estimators then walk.
+func queriesOfFrame(f *window.Frame) Queries {
+	out := make(Queries, len(f.Templates))
+	for pos := range f.Templates {
+		arr, resp := f.Obs(pos)
+		if len(arr) == 0 {
+			continue
+		}
+		obs := make([]Obs, len(arr))
+		for i := range arr {
+			obs[i] = Obs{ArrivalMs: arr[i], ResponseMs: resp[i]}
+		}
+		out[f.Templates[pos].Meta.ID] = obs
+	}
+	return out
+}
+
+// sameBits compares two series down to float bits.
+func sameBits(a, b timeseries.Series) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkFrameEstimate verifies fe against the legacy est over frame f.
+func checkFrameEstimate(t *testing.T, label string, f *window.Frame, fe *FrameEstimate, est *Estimate) {
+	t.Helper()
+	if !sameBits(fe.Total, est.Total) {
+		t.Fatalf("%s: totals diverge", label)
+	}
+	for pos := range f.Templates {
+		id := f.Templates[pos].Meta.ID
+		legacy, ok := est.PerTemplate[id]
+		if !ok {
+			// Zero-observation templates have no legacy entry; the frame
+			// series must be exactly zero.
+			if fe.PerTemplate[pos].Sum() != 0 {
+				t.Fatalf("%s: template %s has mass without observations", label, id)
+			}
+			continue
+		}
+		if !sameBits(fe.PerTemplate[pos], legacy) {
+			t.Fatalf("%s: template %s series diverge", label, id)
+		}
+	}
+	if est.SelBucket != nil {
+		for sec := range est.SelBucket {
+			if fe.SelBucket[sec] != est.SelBucket[sec] {
+				t.Fatalf("%s: bucket selection diverges at second %d: %d vs %d",
+					label, sec, fe.SelBucket[sec], est.SelBucket[sec])
+			}
+		}
+	}
+}
+
+func TestFrameEstimatorsMatchLegacyBitForBit(t *testing.T) {
+	const (
+		startMs = 1000
+		seconds = 30
+		k       = 10
+	)
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		raw, observed := randomQueries(rng, startMs, seconds)
+		f := frameFromQueries(raw, startMs, seconds)
+		q := queriesOfFrame(f)
+
+		checkFrameEstimate(t, fmt.Sprintf("seed %d byRT", seed), f,
+			EstimateFrameByRT(f), EstimateByRT(q, startMs, seconds))
+		checkFrameEstimate(t, fmt.Sprintf("seed %d noBuckets", seed), f,
+			EstimateFrameNoBuckets(f), EstimateNoBuckets(q, startMs, seconds))
+		for _, workers := range []int{1, 3, 0} {
+			checkFrameEstimate(t, fmt.Sprintf("seed %d buckets w=%d", seed, workers), f,
+				EstimateFrameBuckets(f, observed, k, workers),
+				EstimateBucketsWorkers(q, observed, startMs, seconds, k, 1))
+		}
+	}
+}

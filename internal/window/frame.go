@@ -1,0 +1,181 @@
+// Package window defines the columnar, index-keyed representation of one
+// collection window — the single frame every diagnosis layer consumes.
+//
+// The paper's pipeline (§IV) is a straight dataflow: per-template
+// aggregates plus the raw observation stream feed session estimation,
+// H-SQL ranking and R-SQL identification. A Frame materializes that
+// dataflow's working set exactly once, at collection time:
+//
+//	Templates  [T]        per-template aggregates, ascending Meta.Index
+//	Off        [T+1]      observation group offsets (prefix sums)
+//	Arrival    [N]int64   observation columns, SoA: obs of Templates[i]
+//	Response   [N]float64 are Arrival/Response[Off[i]:Off[i+1]]
+//	ByID       [T]        frame positions in ascending template-ID order
+//	metrics    [seconds]  the instance metric series (Definition II.4)
+//
+// Inside the pipeline, templates are plain positions (0..T-1) into these
+// columns; the string sqltemplate.ID appears only at the boundaries —
+// reports, caseio documents, the HTTP control plane — via Meta.ID.
+//
+// Determinism: the frame fixes every iteration order the legacy map-keyed
+// path reached through sorting. Observation groups hold each template's
+// records sorted by arrival time with ties in log-store insertion order
+// (exactly the store's scan order), and ByID replays the "iterate template
+// IDs in ascending string order" float-accumulation order of the session
+// estimator and impact ranker — so frame-based diagnosis is byte-identical
+// to the legacy Snapshot+Queries path, for every Workers count.
+package window
+
+import (
+	"sort"
+
+	"pinsql/internal/dbsim"
+	"pinsql/internal/sqltemplate"
+	"pinsql/internal/timeseries"
+)
+
+// Meta identifies one SQL template inside a frame. It mirrors the
+// collector registry's entry (collect.TemplateMeta) without importing it:
+// collect builds frames, so the dependency must point this way.
+type Meta struct {
+	Index int32          // dense registry index
+	ID    sqltemplate.ID // digest of the normalized statement
+	Text  string         // normalized statement
+	Table string
+	Kind  dbsim.QueryKind
+}
+
+// Template is one SQL template's aggregated view over the window: the
+// sum/count aggregation of §IV-A, one sample per second.
+type Template struct {
+	Meta Meta
+
+	Count     timeseries.Series // #execution per second
+	SumRT     timeseries.Series // Σ tres per second, milliseconds
+	SumRows   timeseries.Series // Σ #examined_rows per second
+	Throttled timeseries.Series // statements rejected by a throttle rule
+}
+
+// Frame is one collection window in columnar form. Frames are immutable
+// once built (Finalize); sharing one across goroutines is safe.
+type Frame struct {
+	Topic   string
+	StartMs int64
+	Seconds int
+
+	// Templates in ascending Meta.Index order. Position in this slice —
+	// not Meta.Index, which is registry-global — is the frame's template
+	// key.
+	Templates []Template
+
+	// Observation columns (SoA). The group of Templates[i] is
+	// Arrival[Off[i]:Off[i+1]] / Response[Off[i]:Off[i+1]], sorted by
+	// arrival time with ties in insertion order — the log store's scan
+	// order, so the columns replace a store re-scan bit-for-bit.
+	Off      []int32
+	Arrival  []int64
+	Response []float64
+
+	// ByID[k] is the position of the k-th template in ascending Meta.ID
+	// order: the iteration order for every float accumulation whose
+	// result must match the legacy sorted-map walk.
+	ByID []int32
+
+	// Instance performance metrics (Definition II.4), one sample/second.
+	ActiveSession timeseries.Series
+	AvgSession    timeseries.Series
+	CPUUsage      timeseries.Series
+	IOPSUsage     timeseries.Series
+	MemUsage      timeseries.Series
+	QPS           timeseries.Series
+	RowLockWaits  timeseries.Series
+	MDLWaits      timeseries.Series
+
+	posByID map[sqltemplate.ID]int32
+}
+
+// NumTemplates returns T, the number of templates in the frame.
+func (f *Frame) NumTemplates() int { return len(f.Templates) }
+
+// NumObs returns N, the number of raw observations in the frame.
+func (f *Frame) NumObs() int { return len(f.Arrival) }
+
+// Obs returns template position pos's observation columns.
+func (f *Frame) Obs(pos int) (arrival []int64, response []float64) {
+	lo, hi := f.Off[pos], f.Off[pos+1]
+	return f.Arrival[lo:hi], f.Response[lo:hi]
+}
+
+// ObsLen returns the number of observations of template position pos.
+func (f *Frame) ObsLen(pos int) int { return int(f.Off[pos+1] - f.Off[pos]) }
+
+// Pos resolves a template ID to its frame position; ok is false when the
+// frame has no such template. This is a boundary helper — inner pipeline
+// stages should carry positions, not IDs.
+func (f *Frame) Pos(id sqltemplate.ID) (pos int, ok bool) {
+	p, ok := f.posByID[id]
+	return int(p), ok
+}
+
+// Template returns the template at a frame position.
+func (f *Frame) Template(pos int) *Template { return &f.Templates[pos] }
+
+// Finalize fixes the frame's derived state after the builder filled
+// Templates (ascending Meta.Index), Off/Arrival/Response and the metric
+// series: each observation group is stable-sorted by arrival time and the
+// ByID permutation plus the ID→position index are computed. The frame
+// must not be mutated afterwards.
+func (f *Frame) Finalize() {
+	if len(f.Off) != len(f.Templates)+1 {
+		panic("window: Off must have NumTemplates+1 entries")
+	}
+	f.sortGroups()
+	f.ByID = make([]int32, len(f.Templates))
+	for i := range f.ByID {
+		f.ByID[i] = int32(i)
+	}
+	sort.Slice(f.ByID, func(i, j int) bool {
+		return f.Templates[f.ByID[i]].Meta.ID < f.Templates[f.ByID[j]].Meta.ID
+	})
+	f.posByID = make(map[sqltemplate.ID]int32, len(f.Templates))
+	for i := range f.Templates {
+		f.posByID[f.Templates[i].Meta.ID] = int32(i)
+	}
+}
+
+// sortGroups stable-sorts every observation group by arrival time,
+// reproducing the log store's scan order (sort.SliceStable by ArrivalMs
+// over insertion-ordered appends, filtered per template).
+func (f *Frame) sortGroups() {
+	var perm []int32
+	var scratchA []int64
+	var scratchR []float64
+	for t := 0; t < len(f.Templates); t++ {
+		lo, hi := int(f.Off[t]), int(f.Off[t+1])
+		n := hi - lo
+		if n < 2 || sorted(f.Arrival[lo:hi]) {
+			continue
+		}
+		perm = perm[:0]
+		for i := 0; i < n; i++ {
+			perm = append(perm, int32(i))
+		}
+		arr, resp := f.Arrival[lo:hi], f.Response[lo:hi]
+		sort.SliceStable(perm, func(i, j int) bool { return arr[perm[i]] < arr[perm[j]] })
+		scratchA = append(scratchA[:0], arr...)
+		scratchR = append(scratchR[:0], resp...)
+		for i, p := range perm {
+			arr[i] = scratchA[p]
+			resp[i] = scratchR[p]
+		}
+	}
+}
+
+func sorted(a []int64) bool {
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -14,6 +14,7 @@ import (
 	"pinsql/internal/session"
 	"pinsql/internal/sqltemplate"
 	"pinsql/internal/timeseries"
+	"pinsql/internal/window"
 	"pinsql/internal/workload"
 )
 
@@ -27,6 +28,9 @@ type (
 	Template = sqltemplate.Template
 	// Snapshot is one collection window: per-template series + metrics.
 	Snapshot = collect.Snapshot
+	// Frame is the columnar, index-keyed window representation every
+	// diagnosis stage consumes (internal/window).
+	Frame = window.Frame
 	// Collector aggregates query logs and metrics (§IV-A).
 	Collector = collect.Collector
 	// Case is an anomaly case C = (M, Q, as, ae) (Definition II.2).
@@ -151,14 +155,22 @@ func (r *Run) DetectCases() []*Case {
 }
 
 // Queries extracts the raw per-query observations of the run window — the
-// session estimator's input.
+// legacy map-keyed session-estimator input (flattened from the window
+// frame; see Frame for the columnar form Diagnose itself consumes).
 func (r *Run) Queries() session.Queries {
 	return cases.QueriesOf(r.Collector, r.Snapshot)
 }
 
-// Diagnose runs the full PinSQL pipeline on a detected case.
+// Frame returns the run window's columnar frame — per-template aggregates,
+// observation columns and metric series in one immutable structure.
+func (r *Run) Frame() *window.Frame {
+	return r.Collector.Frame()
+}
+
+// Diagnose runs the full PinSQL pipeline on a detected case, through the
+// index-first window frame (byte-identical to the legacy map-keyed path).
 func (r *Run) Diagnose(c *Case) *Diagnosis {
-	return core.Diagnose(c, r.Queries(), r.cfg)
+	return core.DiagnoseFrame(c, r.Frame(), r.cfg)
 }
 
 // Repair suggests (and, when auto is true, executes against the run's
