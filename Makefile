@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz-smoke bench-parallel bench-logstore bench-gen bench-fleet bench-diagnose smoke-serve clean
+.PHONY: all build test race vet fuzz-smoke fuzz-search test-corpus bench-parallel bench-logstore bench-gen bench-fleet bench-diagnose smoke-serve clean
 
 all: build vet test
 
@@ -24,13 +24,30 @@ vet:
 	$(GO) vet ./...
 
 # Short fuzzing campaigns: sqltemplate.Normalize (panic-freedom,
-# idempotence, stable template IDs) and the segment store's record codec
-# (round-trip, canonical re-encode, CRC corruption rejection). Long
-# campaigns: raise -fuzztime.
+# idempotence, stable template IDs), the segment store's record codec
+# (round-trip, canonical re-encode, CRC corruption rejection), and the
+# repro-bundle parsers (manifest + case document, canonical re-encode and
+# frame idempotence). Long campaigns: raise -fuzztime.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzNormalize -fuzztime=10s ./internal/sqltemplate
 	$(GO) test -run=^$$ -fuzz=FuzzRecordCodec -fuzztime=10s ./internal/logstore/segment
 	$(GO) test -run=^$$ -fuzz=FuzzFrameParser -fuzztime=5s ./internal/logstore/segment
+	$(GO) test -run=^$$ -fuzz=FuzzReproBundle -fuzztime=5s ./internal/caseio
+
+# Adversarial workload search: a seed-driven bandit over injection
+# parameters hunts diagnosis misranks, minimizes each miss, and writes
+# repro bundles under fuzz-corpus/. Runs twice at different worker counts
+# and exits non-zero if the trajectories diverge (determinism contract).
+# Writes BENCH_fuzz.json. Widen the hunt: make fuzz-search FUZZ_BUDGET=64.
+FUZZ_BUDGET ?= 0
+fuzz-search:
+	$(GO) run ./cmd/pinsql-bench -exp fuzz -small -seed 1 \
+		-fuzz-budget $(FUZZ_BUDGET) -corpus-dir fuzz-corpus
+
+# Replay every committed repro bundle through the diagnosis pipeline and
+# assert the recorded verdicts byte-for-byte.
+test-corpus:
+	$(GO) test -run TestFuzzCorpusRegression -v ./internal/fuzz
 
 # Parallel-pipeline speedup sweep (Workers in {1, 2, 4, NumCPU}) on a
 # ~4000-template case.

@@ -33,7 +33,7 @@ func main() {
 // run before the process exits (os.Exit skips defers).
 func realMain() (code int) {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|logstore|gen|fleet|diagnose|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|scenario|logstore|gen|fleet|diagnose|fuzz|all")
 		n          = flag.Int("cases", 24, "corpus size for table1/fig6/families")
 		seed       = flag.Int64("seed", 1, "corpus seed")
 		param      = flag.String("param", "ks", "sweep parameter: ks|tau|buckets")
@@ -42,6 +42,9 @@ func realMain() (code int) {
 		genOut     = flag.String("gen-out", "BENCH_gen.json", "output file for the -exp gen report (empty = stdout only)")
 		diagOut    = flag.String("diagnose-out", "BENCH_diagnose.json", "output file for the -exp diagnose report (empty = stdout only)")
 		fleetOut   = flag.String("fleet-out", "BENCH_fleet.json", "output file for the -exp fleet report (empty = stdout only)")
+		fuzzOut    = flag.String("fuzz-out", "BENCH_fuzz.json", "output file for the -exp fuzz report (empty = stdout only)")
+		fuzzBudget = flag.Int("fuzz-budget", 0, "cases per fuzz search run (0 = default for the size)")
+		corpusDir  = flag.String("corpus-dir", "", "directory the fuzz search writes repro bundles into (empty = none)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -183,6 +186,31 @@ func realMain() (code int) {
 						return nil, err
 					}
 					fmt.Printf("[diagnose report written to %s]\n", *diagOut)
+				}
+				return wrapped{res}, nil
+			})
+		},
+		"scenario": func() {
+			run("scenario", func() (fmt.Stringer, error) { return wrap(bench.RunScenarioAccuracy(corpus(*n))) })
+		},
+		"fuzz": func() {
+			run("fuzz", func() (fmt.Stringer, error) {
+				res, err := bench.RunFuzzBench(bench.FuzzBenchOptions{
+					Seed: *seed, Budget: *fuzzBudget, Workers: *workers,
+					Small: *small, CorpusDir: *corpusDir,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if *fuzzOut != "" {
+					data, err := json.MarshalIndent(res, "", " ")
+					if err != nil {
+						return nil, err
+					}
+					if err := os.WriteFile(*fuzzOut, append(data, '\n'), 0o644); err != nil {
+						return nil, err
+					}
+					fmt.Printf("[fuzz report written to %s]\n", *fuzzOut)
 				}
 				return wrapped{res}, nil
 			})

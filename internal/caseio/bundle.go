@@ -1,0 +1,208 @@
+package caseio
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// This file defines the self-contained repro bundle the adversarial fuzzer
+// emits for every diagnosis miss it finds: a directory holding the case's
+// frame document (case.json, the ordinary caseio format with Truth labels)
+// plus a manifest (manifest.json) recording how the case was found — seed,
+// minimized parameter vector, bandit arm — and what the diagnosis did wrong
+// (expected vs. actual ranking, the misrank verdict). A bundle replays
+// without the generator: load case.json, diagnose the frame, re-judge
+// against Truth, and compare verdicts byte-for-byte.
+
+// Bundle file names. The case document is gzip-compressed on disk — a
+// full frame of per-query observations runs to megabytes of JSON, an
+// order of magnitude less once compressed — while the manifest stays
+// plain text for reviewable diffs.
+const (
+	BundleCaseFile     = "case.json.gz"
+	BundleManifestFile = "manifest.json"
+)
+
+// ManifestVersion guards the manifest format.
+const ManifestVersion = 1
+
+// Verdict is the misrank judgment of one diagnosed case against its ground
+// truth. Zero Score means a perfect top-1 diagnosis with a clean H-SQL
+// head; Miss mirrors the paper's headline metric (Hits@1 on R-SQLs).
+type Verdict struct {
+	// RankOfTruth is the 1-based rank of the first true R-SQL in the
+	// ranked R-SQL list; 0 means no true R-SQL was ranked at all.
+	RankOfTruth int  `json:"rank_of_truth"`
+	Top1Hit     bool `json:"top1_hit"`
+	Top3Hit     bool `json:"top3_hit"`
+	// RFalseAhead counts the false positives ranked above the first true
+	// R-SQL (the whole list when the truth is absent).
+	RFalseAhead int `json:"r_false_ahead"`
+	// HFalseTop5 counts top-5 H-SQLs absent from the H-SQL ground truth.
+	HFalseTop5 int `json:"h_false_top5"`
+	// Score is the misrank severity in [0,1]; the fuzzer's bandit reward.
+	Score float64 `json:"score"`
+	// Miss is the searched-for failure: the true root cause not at rank 1.
+	Miss bool `json:"miss"`
+}
+
+// ReproParams is the flat, serialization-side mirror of the generator's
+// parameter vector (cases.CaseParams); the fuzz package converts. Keeping
+// the JSON type here lets bundles parse without importing the generator.
+type ReproParams struct {
+	Kind            string  `json:"kind"`
+	Service         int     `json:"service"`
+	Intensity       float64 `json:"intensity"`
+	StartSec        int     `json:"start_sec"`
+	DurSec          int     `json:"dur_sec"`
+	FillerServices  int     `json:"filler_services"`
+	FillerSpecs     int     `json:"filler_specs"`
+	ConfuserService int     `json:"confuser_service"`
+	ConfuserFactor  float64 `json:"confuser_factor,omitempty"`
+	ConfuserLeadSec int     `json:"confuser_lead_sec,omitempty"`
+	ConfuserDurSec  int     `json:"confuser_dur_sec,omitempty"`
+}
+
+// ReproManifest describes one found-and-minimized miss.
+type ReproManifest struct {
+	Version int    `json:"version"`
+	Name    string `json:"name"`
+
+	// Provenance: the search that found the case. (Seed, CaseIndex,
+	// Params) replays the exact case through the generator; the frame in
+	// case.json replays the diagnosis without it.
+	Seed      int64  `json:"seed"`
+	CaseIndex int64  `json:"case_index"`
+	TraceSec  int    `json:"trace_sec"`
+	Arm       string `json:"arm,omitempty"`
+	// HistoryDays / Cores complete the generator options: replaying from
+	// Params needs the exact history-window offsets and instance size.
+	HistoryDays []int `json:"history_days,omitempty"`
+	Cores       int   `json:"cores,omitempty"`
+
+	// Params is the minimized vector; Original the as-found vector when
+	// minimization shrank anything.
+	Params         ReproParams  `json:"params"`
+	Original       *ReproParams `json:"original,omitempty"`
+	MinimizeProbes int          `json:"minimize_probes,omitempty"`
+
+	// Expected holds the ground-truth R-SQL IDs (sorted); ActualR/ActualH
+	// the head of the diagnosis' ranked lists when the miss was recorded.
+	Expected []string `json:"expected"`
+	ActualR  []string `json:"actual_r"`
+	ActualH  []string `json:"actual_h,omitempty"`
+
+	Verdict Verdict `json:"verdict"`
+}
+
+// Validate checks structural invariants of a parsed manifest.
+func (m *ReproManifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("caseio: unsupported manifest version %d", m.Version)
+	}
+	if m.Name == "" {
+		return fmt.Errorf("caseio: manifest has no name")
+	}
+	if len(m.Expected) == 0 {
+		return fmt.Errorf("caseio: manifest %s has no expected R-SQLs", m.Name)
+	}
+	if m.Verdict.RankOfTruth < 0 {
+		return fmt.Errorf("caseio: manifest %s: negative rank_of_truth", m.Name)
+	}
+	if m.Verdict.RankOfTruth == 1 != m.Verdict.Top1Hit {
+		return fmt.Errorf("caseio: manifest %s: top1_hit inconsistent with rank_of_truth %d",
+			m.Name, m.Verdict.RankOfTruth)
+	}
+	if m.Verdict.Miss == m.Verdict.Top1Hit {
+		return fmt.Errorf("caseio: manifest %s: miss inconsistent with top1_hit", m.Name)
+	}
+	return nil
+}
+
+// ParseManifest decodes and validates a manifest document.
+func ParseManifest(data []byte) (*ReproManifest, error) {
+	var m ReproManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("caseio: decoding manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// MarshalIndented renders the manifest exactly as WriteBundle lays it on
+// disk, so byte-level comparisons have one canonical form.
+func (m *ReproManifest) MarshalIndented() ([]byte, error) {
+	data, err := json.MarshalIndent(m, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteBundle materializes a repro bundle directory: dir/manifest.json and
+// dir/case.json. The directory is created (parents included).
+func WriteBundle(dir string, m *ReproManifest, f *File) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := m.MarshalIndented()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, BundleManifestFile), data, 0o644); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(dir, BundleCaseFile))
+	if err != nil {
+		return err
+	}
+	// gzip with a zeroed header: byte-identical output for identical
+	// documents, so re-mined bundles diff clean.
+	zw := gzip.NewWriter(cf)
+	if err := f.Write(zw); err != nil {
+		zw.Close()
+		cf.Close()
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
+}
+
+// ReadBundle loads a repro bundle directory back into its manifest and
+// case document.
+func ReadBundle(dir string) (*ReproManifest, *File, error) {
+	data, err := os.ReadFile(filepath.Join(dir, BundleManifestFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := ParseManifest(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	cf, err := os.Open(filepath.Join(dir, BundleCaseFile))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer cf.Close()
+	zr, err := gzip.NewReader(cf)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	defer zr.Close()
+	f, err := Read(zr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", dir, err)
+	}
+	return m, f, nil
+}

@@ -169,6 +169,21 @@ func GenerateOneWith(opt Options, idx int64, kind workload.AnomalyKind, mutate f
 	if mutate != nil {
 		mutate(world)
 	}
+	if err := validateWorld(world, endMs); err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("case-%03d-%s", idx, kind)
+	return finish(opt, seed, idx, name, kind, world, injected, asMs, aeMs)
+}
+
+// finish simulates a prepared (injected, validated) world, detects the
+// phenomenon, replays the history windows and labels ground truth — the
+// shared tail of GenerateOneWith and GenerateFromParams. The history
+// replays rebuild a pristine world from the same seed and the filler shape
+// in opt — callers must pass an opt whose FillerServices/FillerSpecs match
+// whatever padded the live world.
+func finish(opt Options, seed, idx int64, name string, kind workload.AnomalyKind, world *workload.World, injected workload.Anomaly, asMs, aeMs int64) (*Labeled, error) {
+	endMs := int64(opt.TraceSec) * 1000
 
 	// Simulate the instance with the collector attached.
 	cfg := dbsim.DefaultConfig()
@@ -221,7 +236,7 @@ func GenerateOneWith(opt Options, idx int64, kind workload.AnomalyKind, mutate f
 	}
 
 	lab := &Labeled{
-		Name:      fmt.Sprintf("case-%03d-%s", idx, kind),
+		Name:      name,
 		Kind:      kind,
 		Case:      cs,
 		Collector: coll,

@@ -1,0 +1,224 @@
+package cases
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pinsql/internal/workload"
+)
+
+// ErrInvalid is the sentinel every case-parameter validation failure wraps;
+// callers can match the class with errors.Is and recover the detail with
+// errors.As on *ValidationError.
+var ErrInvalid = errors.New("cases: invalid parameters")
+
+// ValidationError reports one out-of-range case parameter or a degenerate
+// post-mutation world. The adversarial fuzzer hits these boundaries
+// constantly; returning a typed error (instead of silently generating a
+// degenerate case) lets it reject the sample and resample, and keeps
+// hand-written harness mistakes loud.
+type ValidationError struct {
+	Field  string // parameter or world element that failed, e.g. "start_sec"
+	Value  string // offending value, rendered
+	Reason string // why it is invalid
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("cases: invalid %s=%s: %s", e.Field, e.Value, e.Reason)
+}
+
+// Unwrap ties every ValidationError to ErrInvalid.
+func (e *ValidationError) Unwrap() error { return ErrInvalid }
+
+func invalidf(field string, value any, reason string) *ValidationError {
+	return &ValidationError{Field: field, Value: fmt.Sprint(value), Reason: reason}
+}
+
+// CaseParams is the explicit injection parameter vector of one generated
+// case — the mutation space the adversarial fuzzer searches. GenerateOne
+// derives an equivalent vector from seed jitter; GenerateFromParams takes
+// it verbatim, so a found case replays from its recorded vector alone.
+type CaseParams struct {
+	Kind workload.AnomalyKind `json:"kind"`
+
+	// Service indexes the target service (business-spike and poor-SQL
+	// families; the lock storm is pinned to the fulfillment service whose
+	// readers lock the hot rows, and the MDL freeze targets a table).
+	Service int `json:"service"`
+
+	// Intensity is the anomaly magnitude, with a per-family meaning:
+	// business spike — target active-session lift; poor SQL / lock storm —
+	// absolute statements/second of the injected job; MDL — unused.
+	Intensity float64 `json:"intensity"`
+
+	// StartSec / DurSec place the anomaly window inside the trace horizon.
+	StartSec int `json:"start_sec"`
+	DurSec   int `json:"dur_sec"`
+
+	// FillerServices × FillerSpecs pad the template population.
+	FillerServices int `json:"filler_services"`
+	FillerSpecs    int `json:"filler_specs"`
+
+	// Confuser: a benign traffic surge on another service overlapping the
+	// anomaly window (workload.AddTrafficSpike — no ground-truth labels).
+	// ConfuserService < 0 disables it. ConfuserLeadSec shifts the surge
+	// start relative to the anomaly start (negative = surge begins first).
+	ConfuserService int     `json:"confuser_service"`
+	ConfuserFactor  float64 `json:"confuser_factor,omitempty"`
+	ConfuserLeadSec int     `json:"confuser_lead_sec,omitempty"`
+	ConfuserDurSec  int     `json:"confuser_dur_sec,omitempty"`
+}
+
+// baseServices is the service count of workload.DefaultWorld — the range
+// Service and ConfuserService index into (fillers are never targets).
+const baseServices = 6
+
+// Validate checks the vector against a trace horizon of traceSec seconds.
+// Every violation returns a *ValidationError wrapping ErrInvalid.
+func (p CaseParams) Validate(traceSec int) error {
+	if traceSec <= 0 {
+		return invalidf("trace_sec", traceSec, "horizon must be positive")
+	}
+	if p.Service < 0 || p.Service >= baseServices {
+		return invalidf("service", p.Service, fmt.Sprintf("must index a base service [0,%d)", baseServices))
+	}
+	if p.Kind != workload.KindMDL {
+		if math.IsNaN(p.Intensity) || math.IsInf(p.Intensity, 0) || p.Intensity <= 0 {
+			return invalidf("intensity", p.Intensity, "must be a positive finite magnitude")
+		}
+	}
+	if p.StartSec <= 0 || p.StartSec >= traceSec {
+		return invalidf("start_sec", p.StartSec, fmt.Sprintf("anomaly must start inside the (0,%d) horizon", traceSec))
+	}
+	if p.DurSec <= 0 {
+		return invalidf("dur_sec", p.DurSec, "anomaly needs a positive duration")
+	}
+	if p.StartSec+p.DurSec > traceSec {
+		return invalidf("dur_sec", p.DurSec,
+			fmt.Sprintf("anomaly window [%d,%d) leaves the %ds horizon", p.StartSec, p.StartSec+p.DurSec, traceSec))
+	}
+	if p.FillerServices < 0 {
+		return invalidf("filler_services", p.FillerServices, "must be non-negative")
+	}
+	if p.FillerServices > 0 && p.FillerSpecs <= 0 {
+		return invalidf("filler_specs", p.FillerSpecs, "filler services need at least one spec each")
+	}
+	if p.ConfuserService >= 0 {
+		if p.ConfuserService >= baseServices {
+			return invalidf("confuser_service", p.ConfuserService, fmt.Sprintf("must index a base service [0,%d)", baseServices))
+		}
+		if p.ConfuserService == p.Service && p.Kind != workload.KindMDL {
+			return invalidf("confuser_service", p.ConfuserService, "confuser must surge a service other than the target")
+		}
+		if math.IsNaN(p.ConfuserFactor) || math.IsInf(p.ConfuserFactor, 0) || p.ConfuserFactor <= 1 {
+			return invalidf("confuser_factor", p.ConfuserFactor, "a surge must multiply the rate by more than 1")
+		}
+		if p.ConfuserDurSec <= 0 {
+			return invalidf("confuser_dur_sec", p.ConfuserDurSec, "confuser needs a positive duration")
+		}
+	}
+	return nil
+}
+
+// GenerateFromParams builds one case from an explicit parameter vector:
+// the same world, simulation and labeling path as GenerateOne, but with the
+// injection controlled by p instead of seed jitter. idx seeds the world and
+// arrival noise exactly as GenerateOne's idx does, so (opt, idx, p) is a
+// complete, replayable description of the case. Invalid vectors return a
+// *ValidationError wrapping ErrInvalid.
+func GenerateFromParams(opt Options, idx int64, p CaseParams) (*Labeled, error) {
+	if opt.TraceSec <= 0 {
+		opt = withDefaults(opt)
+	}
+	if err := p.Validate(opt.TraceSec); err != nil {
+		return nil, err
+	}
+	// finish replays history with opt's filler shape: keep it in sync with
+	// the live world, which is padded from the vector.
+	opt.FillerServices = p.FillerServices
+	opt.FillerSpecs = p.FillerSpecs
+
+	seed := opt.Seed*1_000_003 + idx*7919
+	world := workload.DefaultWorld(seed)
+	if p.FillerServices > 0 {
+		world.AddFillerServices(p.FillerServices, p.FillerSpecs)
+	}
+
+	asMs := int64(p.StartSec) * 1000
+	aeMs := asMs + int64(p.DurSec)*1000
+	endMs := int64(opt.TraceSec) * 1000
+
+	injected := injectParams(world, p, asMs, aeMs)
+	if p.ConfuserService >= 0 {
+		cs := asMs + int64(p.ConfuserLeadSec)*1000
+		if cs < 0 {
+			cs = 0
+		}
+		ce := cs + int64(p.ConfuserDurSec)*1000
+		if ce > endMs {
+			ce = endMs
+		}
+		world.AddTrafficSpike(world.Services[p.ConfuserService], p.ConfuserFactor, cs, ce)
+	}
+	if err := validateWorld(world, endMs); err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("fuzz-%04d-%s", idx, p.Kind)
+	return finish(opt, seed, idx, name, p.Kind, world, injected, asMs, aeMs)
+}
+
+// injectParams installs the anomaly p describes. Unlike inject (the
+// seed-jitter path), the business-spike family may target any service —
+// including fulfillment, where a rate spike degenerates into lock
+// contention: exactly the confusable region an adversarial search should
+// be free to explore.
+func injectParams(w *workload.World, p CaseParams, asMs, aeMs int64) workload.Anomaly {
+	svc := w.Services[p.Service]
+	switch p.Kind {
+	case workload.KindBusinessSpike:
+		factor := p.Intensity / math.Max(svc.BaseDemand(), 0.05)
+		factor = math.Max(1.5, math.Min(120, factor))
+		return w.InjectBusinessSpike(svc, factor, asMs, aeMs)
+	case workload.KindPoorSQL:
+		return w.InjectPoorSQL(svc, "orders", p.Intensity, asMs)
+	case workload.KindLockStorm:
+		// The storm job must belong to the business whose readers lock the
+		// hot rows — fulfillment (see InjectLockStorm's contract).
+		return w.InjectLockStorm(w.Services[2], "orders", p.Intensity, asMs, aeMs)
+	default:
+		return w.InjectMDL("orders", asMs, aeMs-asMs)
+	}
+}
+
+// validateWorld rejects degenerate post-mutation worlds: zero-QPS services,
+// non-positive spec costs, and anomaly windows entirely outside the trace
+// horizon. Windows that merely extend past the horizon are fine — open-ended
+// injections (poor SQL) and end-of-trace anomalies are the normal case.
+func validateWorld(w *workload.World, horizonMs int64) error {
+	for _, svc := range w.Services {
+		if math.IsNaN(svc.BaseRPS) || math.IsInf(svc.BaseRPS, 0) || svc.BaseRPS <= 0 {
+			return invalidf("service", svc.Name, "zero-QPS service: BaseRPS must be positive and finite")
+		}
+		for _, sp := range svc.Specs {
+			if sp.CallsPerRequest < 0 || math.IsNaN(sp.CallsPerRequest) {
+				return invalidf("spec", svc.Name+"/"+sp.Name, "CallsPerRequest must be non-negative")
+			}
+			if sp.ServiceMs <= 0 || math.IsNaN(sp.ServiceMs) {
+				return invalidf("spec", svc.Name+"/"+sp.Name, "ServiceMs must be positive")
+			}
+		}
+	}
+	for _, a := range w.Anomalies() {
+		if a.StartMs < 0 || a.StartMs >= horizonMs {
+			return invalidf("anomaly", fmt.Sprintf("%s@%dms", a.Kind, a.StartMs),
+				fmt.Sprintf("anomaly starts outside the [0,%dms) horizon", horizonMs))
+		}
+		if a.EndMs != 0 && a.EndMs <= a.StartMs {
+			return invalidf("anomaly", fmt.Sprintf("%s@[%d,%d)ms", a.Kind, a.StartMs, a.EndMs),
+				"anomaly window is empty or inverted")
+		}
+	}
+	return nil
+}

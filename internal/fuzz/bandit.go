@@ -1,0 +1,233 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"pinsql/internal/cases"
+	"pinsql/internal/workload"
+)
+
+// Arm is one region of the workload/injector parameter space: an anomaly
+// family crossed with an intensity band and an optional benign confuser
+// surge. The bandit learns which regions yield misranks and re-weights its
+// sampling toward them (the shiro loop: weighted feature toggles plus an
+// adaptive bandit over bug-yielding actions).
+type Arm struct {
+	Kind     workload.AnomalyKind
+	Hi       bool // high-intensity band (for MDL: long-freeze band)
+	Confuser bool // add a benign co-spike on another service
+}
+
+// Name renders the arm, e.g. "poor_sql/lo/confuser".
+func (a Arm) Name() string {
+	band := "lo"
+	if a.Hi {
+		band = "hi"
+	}
+	tail := "plain"
+	if a.Confuser {
+		tail = "confuser"
+	}
+	return fmt.Sprintf("%s/%s/%s", a.Kind, band, tail)
+}
+
+// defaultArms enumerates the 4 families × 2 bands × {plain, confuser} grid
+// in a fixed order (part of the determinism contract).
+func defaultArms() []Arm {
+	kinds := []workload.AnomalyKind{
+		workload.KindBusinessSpike,
+		workload.KindPoorSQL,
+		workload.KindLockStorm,
+		workload.KindMDL,
+	}
+	out := make([]Arm, 0, len(kinds)*4)
+	for _, k := range kinds {
+		for _, hi := range []bool{false, true} {
+			for _, conf := range []bool{false, true} {
+				out = append(out, Arm{Kind: k, Hi: hi, Confuser: conf})
+			}
+		}
+	}
+	return out
+}
+
+// intensityRange is the arm's magnitude band, per family (see
+// cases.CaseParams.Intensity for the per-family meaning).
+func (a Arm) intensityRange() (lo, hi float64) {
+	switch a.Kind {
+	case workload.KindBusinessSpike: // target active-session lift
+		if a.Hi {
+			return 6, 18
+		}
+		return 1.5, 6
+	case workload.KindPoorSQL: // statements/second
+		if a.Hi {
+			return 2, 8
+		}
+		return 0.3, 2
+	case workload.KindLockStorm: // statements/second
+		if a.Hi {
+			return 4, 9
+		}
+		return 1, 4
+	default: // MDL: magnitude is the freeze duration, handled in durRange
+		return 1, 1
+	}
+}
+
+// durRange is the anomaly duration band in seconds, bounded by the trace.
+func (a Arm) durRange(traceSec int) (lo, hi int) {
+	maxDur := traceSec / 2
+	if maxDur > 240 {
+		maxDur = 240
+	}
+	if a.Kind == workload.KindMDL {
+		// The MDL bands split on freeze length: short freezes are the
+		// adversarial end (few blocked seconds to detect).
+		if a.Hi {
+			return 90, maxDur
+		}
+		return 30, 90
+	}
+	return 40, maxDur
+}
+
+// sample draws a full parameter vector from the arm's region. Every draw
+// consumes the shared RNG in a fixed order, so the sampled sequence is a
+// pure function of (seed, pick sequence).
+func (a Arm) sample(r *splitMix, traceSec int) cases.CaseParams {
+	p := cases.CaseParams{Kind: a.Kind, ConfuserService: -1}
+
+	p.Service = r.intn(baseServices)
+	if a.Kind == workload.KindLockStorm {
+		p.Service = 2 // the storm is pinned to fulfillment (see injectParams)
+	}
+
+	ilo, ihi := a.intensityRange()
+	p.Intensity = ilo + (ihi-ilo)*r.float()
+
+	dlo, dhi := a.durRange(traceSec)
+	if dhi <= dlo {
+		dhi = dlo + 1
+	}
+	p.DurSec = dlo + r.intn(dhi-dlo)
+
+	// Start anywhere from "barely any pre-anomaly baseline" to "window
+	// flush against the trace end" — both edges are adversarial.
+	slo := traceSec / 5
+	shi := traceSec - p.DurSec
+	if slo < 1 {
+		slo = 1
+	}
+	if shi <= slo {
+		shi = slo + 1
+	}
+	p.StartSec = slo + r.intn(shi-slo)
+
+	p.FillerServices = r.intn(4)
+	if p.FillerServices > 0 {
+		p.FillerSpecs = 2 + r.intn(5)
+	}
+
+	if a.Confuser {
+		// Surge a service other than the target, overlapping the window.
+		p.ConfuserService = r.intn(baseServices - 1)
+		if p.ConfuserService >= p.Service {
+			p.ConfuserService++
+		}
+		p.ConfuserFactor = 1.5 + 3.5*r.float()
+		p.ConfuserLeadSec = r.intn(p.DurSec+1) - p.DurSec/2
+		p.ConfuserDurSec = p.DurSec/2 + r.intn(p.DurSec+1)
+		if p.ConfuserDurSec <= 0 {
+			p.ConfuserDurSec = 1
+		}
+	}
+	return p
+}
+
+// baseServices mirrors cases.baseServices (workload.DefaultWorld's service
+// count) — the index range sample draws targets from.
+const baseServices = 6
+
+// optimisticPrior is one virtual pull at this reward folded into every
+// arm's mean, so unexplored arms look better than a typical explored one
+// and greedy picks cycle through the grid early without a forced
+// initialization sweep.
+const optimisticPrior = 0.6
+
+// bandit is a deterministic epsilon-greedy multi-armed bandit over
+// parameter-region arms.
+type bandit struct {
+	eps   float64
+	arms  []Arm
+	pulls []int
+	total []float64
+	rng   *splitMix
+}
+
+func newBandit(arms []Arm, eps float64, rng *splitMix) *bandit {
+	return &bandit{
+		eps:   eps,
+		arms:  arms,
+		pulls: make([]int, len(arms)),
+		total: make([]float64, len(arms)),
+		rng:   rng,
+	}
+}
+
+// pick selects an arm: with probability eps a uniform exploration draw,
+// otherwise the arm with the best optimistic mean (ties to the lowest
+// index, keeping selection deterministic).
+func (b *bandit) pick() int {
+	if b.rng.float() < b.eps {
+		return b.rng.intn(len(b.arms))
+	}
+	best, bestMean := 0, -1.0
+	for i := range b.arms {
+		mean := (b.total[i] + optimisticPrior) / float64(b.pulls[i]+1)
+		if mean > bestMean {
+			best, bestMean = i, mean
+		}
+	}
+	return best
+}
+
+// update credits a reward (the misrank score of the sampled case).
+func (b *bandit) update(arm int, reward float64) {
+	b.pulls[arm]++
+	b.total[arm] += reward
+}
+
+// mean is the arm's observed mean reward (0 when unpulled).
+func (b *bandit) mean(arm int) float64 {
+	if b.pulls[arm] == 0 {
+		return 0
+	}
+	return b.total[arm] / float64(b.pulls[arm])
+}
+
+// splitMix is the deterministic RNG driving arm selection and parameter
+// sampling — independent of math/rand so trajectories stay stable across
+// Go versions (same generator the cases package uses for jitter).
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (s *splitMix) float() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+// intn returns a uniform draw in [0, n).
+func (s *splitMix) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(s.next() % uint64(n))
+}

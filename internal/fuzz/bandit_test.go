@@ -1,0 +1,108 @@
+package fuzz
+
+import (
+	"testing"
+)
+
+func TestBanditGreedyConverges(t *testing.T) {
+	arms := defaultArms()
+	b := newBandit(arms, 0, newSplitMix(7)) // eps=0: fully greedy
+
+	// The optimistic prior makes unpulled arms (mean 0.6) beat a pulled
+	// arm rewarded below it, so a greedy bandit still sweeps the grid.
+	first := b.pick()
+	if first != 0 {
+		t.Fatalf("first greedy pick = %d, want 0 (prior ties break low)", first)
+	}
+	b.update(first, 0.1)
+	if next := b.pick(); next == first {
+		t.Fatalf("greedy re-picked a low-reward arm over optimistic unpulled ones")
+	}
+
+	// A consistently high-reward arm dominates once its mean beats the prior.
+	for i := range arms {
+		b.pulls[i], b.total[i] = 0, 0
+	}
+	b.update(5, 0.9)
+	b.update(5, 0.9)
+	b.update(5, 0.9)
+	for i := 0; i < 10; i++ {
+		a := b.pick()
+		if a != 5 {
+			t.Fatalf("greedy pick = %d, want the high-reward arm 5", a)
+		}
+		b.update(a, 0.9)
+	}
+	if m := b.mean(5); m < 0.89 || m > 0.91 {
+		t.Fatalf("mean(5) = %v, want ~0.9", m)
+	}
+	if m := b.mean(0); m != 0 {
+		t.Fatalf("mean of unpulled arm = %v, want 0", m)
+	}
+}
+
+func TestBanditExplores(t *testing.T) {
+	arms := defaultArms()
+	b := newBandit(arms, 1, newSplitMix(11)) // eps=1: always explore
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		a := b.pick()
+		if a < 0 || a >= len(arms) {
+			t.Fatalf("pick out of range: %d", a)
+		}
+		seen[a] = true
+	}
+	if len(seen) < len(arms)/2 {
+		t.Fatalf("exploration visited only %d/%d arms", len(seen), len(arms))
+	}
+}
+
+func TestArmNamesUnique(t *testing.T) {
+	arms := defaultArms()
+	if len(arms) != 16 {
+		t.Fatalf("arm grid = %d, want 16 (4 kinds × 2 bands × 2 confuser)", len(arms))
+	}
+	seen := map[string]bool{}
+	for _, a := range arms {
+		if seen[a.Name()] {
+			t.Fatalf("duplicate arm name %q", a.Name())
+		}
+		seen[a.Name()] = true
+	}
+}
+
+// TestArmSampleValid draws many vectors from every arm and requires each to
+// pass the generator's validation — the sampler must never waste budget on
+// rejected cases.
+func TestArmSampleValid(t *testing.T) {
+	const traceSec = 300
+	r := newSplitMix(3)
+	for _, a := range defaultArms() {
+		for i := 0; i < 64; i++ {
+			p := a.sample(r, traceSec)
+			if err := p.Validate(traceSec); err != nil {
+				t.Fatalf("arm %s sample %d invalid: %v\n%+v", a.Name(), i, err, p)
+			}
+			if a.Confuser != (p.ConfuserService >= 0) {
+				t.Fatalf("arm %s sample %d: confuser presence mismatch", a.Name(), i)
+			}
+			if p.ConfuserService == p.Service && p.ConfuserService >= 0 {
+				t.Fatalf("arm %s sample %d: confuser targets the anomaly service", a.Name(), i)
+			}
+		}
+	}
+}
+
+func TestSplitMixStable(t *testing.T) {
+	// The RNG is part of the determinism contract: same seed, same stream.
+	r := newSplitMix(1)
+	r2 := newSplitMix(1)
+	for i := 0; i < 16; i++ {
+		if a, b := r.next(), r2.next(); a != b {
+			t.Fatalf("same-seed splitMix diverged at draw %d", i)
+		}
+	}
+	if newSplitMix(1).next() == newSplitMix(2).next() {
+		t.Fatal("different seeds produced the same first draw")
+	}
+}

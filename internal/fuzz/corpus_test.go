@@ -1,0 +1,69 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pinsql/internal/caseio"
+	"pinsql/internal/core"
+)
+
+// corpusDir locates the committed repro corpus at the repository root.
+const corpusDir = "../../fuzz-corpus"
+
+// TestFuzzCorpusRegression replays every committed repro bundle through
+// core.DiagnoseFrame and asserts the recorded verdict byte-for-byte. A
+// failure means the pipeline's behaviour on a known miss changed: either a
+// fix (re-mine the bundle, or celebrate and delete it) or a regression in
+// diagnosis determinism.
+func TestFuzzCorpusRegression(t *testing.T) {
+	ents, err := os.ReadDir(corpusDir)
+	if os.IsNotExist(err) {
+		t.Skipf("no committed corpus at %s", corpusDir)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Workers = 1
+
+	bundles := 0
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		bundles++
+		dir := filepath.Join(corpusDir, e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			m, file, err := caseio.ReadBundle(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if file.Truth == nil {
+				t.Fatal("bundle case has no ground truth")
+			}
+			c, fr, err := file.ToFrame()
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := Judge(idSet(file.Truth.RSQLs), idSet(file.Truth.HSQLs), core.DiagnoseFrame(c, fr, cfg))
+			assertVerdictBytes(t, m.Verdict, v, m.Name)
+			if !v.Miss {
+				t.Fatalf("%s no longer misses — the corpus entry is stale", m.Name)
+			}
+			// The manifest's expectation matches the embedded truth.
+			if len(m.Expected) != len(file.Truth.RSQLs) {
+				t.Fatalf("expected list diverged from embedded truth")
+			}
+			for i := range m.Expected {
+				if m.Expected[i] != file.Truth.RSQLs[i] {
+					t.Fatalf("expected[%d] = %q, truth %q", i, m.Expected[i], file.Truth.RSQLs[i])
+				}
+			}
+		})
+	}
+	if bundles == 0 {
+		t.Skipf("corpus directory %s holds no bundles", corpusDir)
+	}
+}

@@ -1,0 +1,165 @@
+package fuzz
+
+import (
+	"pinsql/internal/caseio"
+	"pinsql/internal/cases"
+	"pinsql/internal/core"
+	"pinsql/internal/workload"
+)
+
+// Minimization invariants:
+//
+//   - the predicate is "the case still misses" (Verdict.Miss) — the same
+//     failure class, not the same score;
+//   - every probe replays through the full generator+diagnosis with the
+//     case's own index, so probe results are pure functions of the
+//     candidate vector (no RNG is consumed);
+//   - fields shrink in a fixed order (confuser → fillers → duration →
+//     intensity), each by binary search toward its benign bound, keeping
+//     the smallest still-failing value found;
+//   - the probe budget is a hard cap: when it runs out, the best vector so
+//     far is the answer.
+//
+// Binary search over a non-monotone predicate is a heuristic (the standard
+// fuzzer-minimizer trade): it cannot guarantee a global minimum, only a
+// locally small still-failing vector in O(log) probes per field.
+
+// probeResult carries one still-failing candidate's full evaluation.
+type probeResult struct {
+	params cases.CaseParams
+	lab    *cases.Labeled
+	diag   *core.Diagnosis
+	v      caseio.Verdict
+}
+
+// probeFn evaluates a candidate vector; ok is false when the candidate is
+// invalid or no longer misses.
+type probeFn func(p cases.CaseParams) (probeResult, bool)
+
+// minimizer runs the budgeted per-field shrink.
+type minimizer struct {
+	probe  probeFn
+	budget int
+	probes int
+	best   probeResult
+}
+
+// durFloor is the smallest anomaly duration minimization aims for.
+const durFloor = 30
+
+// intensityFloor is the per-family benign end of the magnitude axis.
+func intensityFloor(kind workload.AnomalyKind) float64 {
+	switch kind {
+	case workload.KindBusinessSpike:
+		return 1
+	case workload.KindPoorSQL:
+		return 0.3
+	default:
+		return 1
+	}
+}
+
+// try evaluates a candidate, adopting it as the new best when it still
+// misses. Returns whether the candidate failed (missed).
+func (m *minimizer) try(p cases.CaseParams) bool {
+	if m.probes >= m.budget {
+		return false
+	}
+	m.probes++
+	res, ok := m.probe(p)
+	if !ok {
+		return false
+	}
+	m.best = res
+	return true
+}
+
+// shrinkInt binary-searches the smallest still-failing value of one integer
+// field in [floor, cur), where apply clones the current best vector with
+// the field set.
+func (m *minimizer) shrinkInt(floor, cur int, apply func(cases.CaseParams, int) cases.CaseParams) {
+	lo, hi := floor, cur
+	for lo < hi && m.probes < m.budget {
+		mid := lo + (hi-lo)/2
+		if m.try(apply(m.best.params, mid)) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+}
+
+// shrinkFloat bisects one float field toward floor for a fixed number of
+// steps, keeping the smallest still-failing value.
+func (m *minimizer) shrinkFloat(floor float64, steps int, get func(cases.CaseParams) float64, apply func(cases.CaseParams, float64) cases.CaseParams) {
+	lo := floor
+	for i := 0; i < steps && m.probes < m.budget; i++ {
+		cur := get(m.best.params)
+		if cur <= lo {
+			return
+		}
+		mid := (lo + cur) / 2
+		if !m.try(apply(m.best.params, mid)) {
+			lo = mid
+		}
+	}
+}
+
+// minimize shrinks a failing vector to a smaller still-failing one. seed is
+// the already-evaluated original case. Returns the best (smallest) result
+// and the number of probes spent.
+func minimize(probe probeFn, seed probeResult, budget int) (probeResult, int) {
+	m := &minimizer{probe: probe, budget: budget, best: seed}
+
+	// 1. Drop the confuser surge entirely — the cheapest big shrink.
+	if m.best.params.ConfuserService >= 0 {
+		q := m.best.params
+		q.ConfuserService = -1
+		q.ConfuserFactor = 0
+		q.ConfuserLeadSec = 0
+		q.ConfuserDurSec = 0
+		m.try(q)
+	}
+
+	// 2. Strip filler templates (fewer services, then fewer specs each).
+	if m.best.params.FillerServices > 0 {
+		m.shrinkInt(0, m.best.params.FillerServices, func(p cases.CaseParams, v int) cases.CaseParams {
+			p.FillerServices = v
+			if v == 0 {
+				p.FillerSpecs = 0
+			}
+			return p
+		})
+	}
+	if m.best.params.FillerServices == 0 {
+		// Specs are inert without services; normalize without a probe —
+		// the generated case is bit-identical.
+		m.best.params.FillerSpecs = 0
+	} else if m.best.params.FillerSpecs > 1 {
+		m.shrinkInt(1, m.best.params.FillerSpecs, func(p cases.CaseParams, v int) cases.CaseParams {
+			p.FillerSpecs = v
+			return p
+		})
+	}
+
+	// 3. Shorten the anomaly window.
+	if m.best.params.DurSec > durFloor {
+		m.shrinkInt(durFloor, m.best.params.DurSec, func(p cases.CaseParams, v int) cases.CaseParams {
+			p.DurSec = v
+			return p
+		})
+	}
+
+	// 4. Weaken the anomaly magnitude (not meaningful for MDL, whose
+	// magnitude is the duration already shrunk above).
+	if m.best.params.Kind != workload.KindMDL {
+		m.shrinkFloat(intensityFloor(m.best.params.Kind), 4,
+			func(p cases.CaseParams) float64 { return p.Intensity },
+			func(p cases.CaseParams, v float64) cases.CaseParams {
+				p.Intensity = v
+				return p
+			})
+	}
+
+	return m.best, m.probes
+}

@@ -1,0 +1,61 @@
+package fuzz
+
+import (
+	"pinsql/internal/caseio"
+	"pinsql/internal/core"
+	"pinsql/internal/sqltemplate"
+)
+
+// Score weights: the R-SQL misrank dominates (it is the paper's headline
+// Hits@1 metric); a polluted H-SQL head contributes a smaller, continuous
+// signal so the bandit feels a gradient even on top-1 hits.
+const (
+	rankWeight  = 0.85
+	hFalseWeigh = 0.15
+	hHead       = 5 // H-SQL head length inspected for false positives
+)
+
+// Judge scores one diagnosis against its ground truth. The returned
+// Verdict is the fuzzer's whole objective: Miss flags the searched-for
+// failure (true R-SQL not ranked first), Score is the bandit reward —
+// 0 for a perfect diagnosis, approaching 1 as the truth sinks or vanishes
+// and the H-SQL head fills with false positives.
+func Judge(rsqls, hsqls map[sqltemplate.ID]bool, d *core.Diagnosis) caseio.Verdict {
+	v := caseio.Verdict{}
+
+	ranked := d.RSQLIDs()
+	for i, id := range ranked {
+		if rsqls[id] {
+			v.RankOfTruth = i + 1
+			break
+		}
+	}
+	v.Top1Hit = v.RankOfTruth == 1
+	v.Top3Hit = v.RankOfTruth >= 1 && v.RankOfTruth <= 3
+	if v.RankOfTruth > 0 {
+		v.RFalseAhead = v.RankOfTruth - 1
+	} else {
+		v.RFalseAhead = len(ranked)
+	}
+
+	// H-SQL head pollution, only judged when the case has H labels at all.
+	if len(hsqls) > 0 {
+		h := d.HSQLIDs()
+		if len(h) > hHead {
+			h = h[:hHead]
+		}
+		for _, id := range h {
+			if !hsqls[id] {
+				v.HFalseTop5++
+			}
+		}
+	}
+
+	rr := 0.0
+	if v.RankOfTruth > 0 {
+		rr = 1 / float64(v.RankOfTruth)
+	}
+	v.Score = rankWeight*(1-rr) + hFalseWeigh*float64(v.HFalseTop5)/hHead
+	v.Miss = !v.Top1Hit
+	return v
+}

@@ -41,6 +41,17 @@ func (k AnomalyKind) String() string {
 	return "unknown"
 }
 
+// KindFromString parses the String() form back; ok is false for unknown
+// names (repro manifests store kinds as strings).
+func KindFromString(s string) (AnomalyKind, bool) {
+	for _, k := range []AnomalyKind{KindBusinessSpike, KindPoorSQL, KindLockStorm, KindMDL} {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // Anomaly records an installed injection: the ground-truth R-SQLs and the
 // true disturbance window.
 type Anomaly struct {
@@ -103,6 +114,32 @@ func (w *World) InjectPoorSQL(svc *Service, table string, rps float64, startMs i
 	a := Anomaly{Kind: KindPoorSQL, RSQLs: []sqltemplate.ID{spec.ID()}, StartMs: startMs, EndMs: 0, Table: table}
 	w.anomalies = append(w.anomalies, a)
 	return a
+}
+
+// AddTrafficSpike multiplies one service's request rate by factor over
+// [startMs, endMs) WITHOUT recording an anomaly: a benign traffic surge
+// (a marketing push, a batch read job) that co-occurs with — and is not —
+// the root cause. The adversarial fuzzer installs these as confusers: a
+// diagnosis that pins the surged service's templates has been fooled by
+// correlation. Ground truth stays whatever the real injectors recorded.
+func (w *World) AddTrafficSpike(svc *Service, factor float64, startMs, endMs int64) {
+	if factor <= 1 || endMs <= startMs {
+		return
+	}
+	prev := svc.SpikeFactor
+	svc.SpikeFactor = func(tMs int64) float64 {
+		f := 1.0
+		if prev != nil {
+			f = prev(tMs)
+		}
+		if tMs >= startMs && tMs < endMs {
+			f *= factor
+		}
+		return f
+	}
+	if factor > w.maxSpike {
+		w.maxSpike = factor
+	}
 }
 
 // InjectLockStorm models the paper's canonical row-lock anomaly (§I
