@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz-smoke fuzz-search test-corpus bench-parallel bench-logstore bench-gen bench-fleet bench-diagnose smoke-serve clean
+.PHONY: all build test race vet fuzz-smoke fuzz-search test-corpus bench-parallel bench-logstore bench-gen bench-fleet bench-diagnose bench-ingest smoke-serve clean
 
 all: build vet test
 
@@ -25,14 +25,16 @@ vet:
 
 # Short fuzzing campaigns: sqltemplate.Normalize (panic-freedom,
 # idempotence, stable template IDs), the segment store's record codec
-# (round-trip, canonical re-encode, CRC corruption rejection), and the
+# (round-trip, canonical re-encode, CRC corruption rejection), the
 # repro-bundle parsers (manifest + case document, canonical re-encode and
-# frame idempotence). Long campaigns: raise -fuzztime.
+# frame idempotence), and the slow-log ingestion parser (panic-freedom,
+# UTF-8 validity, trace-codec round trip). Long campaigns: raise -fuzztime.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzNormalize -fuzztime=10s ./internal/sqltemplate
 	$(GO) test -run=^$$ -fuzz=FuzzRecordCodec -fuzztime=10s ./internal/logstore/segment
 	$(GO) test -run=^$$ -fuzz=FuzzFrameParser -fuzztime=5s ./internal/logstore/segment
 	$(GO) test -run=^$$ -fuzz=FuzzReproBundle -fuzztime=5s ./internal/caseio
+	$(GO) test -run=^$$ -fuzz=FuzzSlowLogParser -fuzztime=10s ./internal/ingest
 
 # Adversarial workload search: a seed-driven bandit over injection
 # parameters hunts diagnosis misranks, minimizes each miss, and writes
@@ -79,6 +81,13 @@ bench-fleet:
 # any ranking bit. Writes BENCH_diagnose.json.
 bench-diagnose:
 	$(GO) run ./cmd/pinsql-bench -exp diagnose -small -seed 3
+
+# Trace-ingestion bench: parse throughput of the slow-log adapter stack
+# on the committed example recording, plus the same trace through the
+# full monitoring pipeline twice — exits non-zero if the two replays'
+# reports differ on any byte. Writes BENCH_ingest.json.
+bench-ingest:
+	$(GO) run ./cmd/pinsql-bench -exp ingest
 
 # Control-plane smoke: boot pinsqld -serve with a 4-instance fleet, curl
 # /fleet and /metrics, then SIGTERM and assert a clean drain (exit 0).

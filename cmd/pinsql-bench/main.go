@@ -33,7 +33,7 @@ func main() {
 // run before the process exits (os.Exit skips defers).
 func realMain() (code int) {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|scenario|logstore|gen|fleet|diagnose|fuzz|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|scenario|logstore|gen|fleet|diagnose|fuzz|ingest|all")
 		n          = flag.Int("cases", 24, "corpus size for table1/fig6/families")
 		seed       = flag.Int64("seed", 1, "corpus seed")
 		param      = flag.String("param", "ks", "sweep parameter: ks|tau|buckets")
@@ -42,6 +42,8 @@ func realMain() (code int) {
 		genOut     = flag.String("gen-out", "BENCH_gen.json", "output file for the -exp gen report (empty = stdout only)")
 		diagOut    = flag.String("diagnose-out", "BENCH_diagnose.json", "output file for the -exp diagnose report (empty = stdout only)")
 		fleetOut   = flag.String("fleet-out", "BENCH_fleet.json", "output file for the -exp fleet report (empty = stdout only)")
+		ingestOut  = flag.String("ingest-out", "BENCH_ingest.json", "output file for the -exp ingest report (empty = stdout only)")
+		ingestPath = flag.String("ingest-trace", "", "trace file for -exp ingest (empty = the committed example recording)")
 		fuzzOut    = flag.String("fuzz-out", "BENCH_fuzz.json", "output file for the -exp fuzz report (empty = stdout only)")
 		fuzzBudget = flag.Int("fuzz-budget", 0, "cases per fuzz search run (0 = default for the size)")
 		corpusDir  = flag.String("corpus-dir", "", "directory the fuzz search writes repro bundles into (empty = none)")
@@ -230,6 +232,28 @@ func realMain() (code int) {
 						return nil, err
 					}
 					fmt.Printf("[fleet report written to %s]\n", *fleetOut)
+				}
+				return wrapped{res}, nil
+			})
+		},
+		"ingest": func() {
+			run("ingest", func() (fmt.Stringer, error) {
+				res, err := bench.RunIngestBench(bench.IngestBenchOptions{Path: *ingestPath})
+				if err != nil {
+					return nil, err
+				}
+				if *ingestOut != "" {
+					data, err := json.MarshalIndent(res, "", " ")
+					if err != nil {
+						return nil, err
+					}
+					if err := os.WriteFile(*ingestOut, append(data, '\n'), 0o644); err != nil {
+						return nil, err
+					}
+					fmt.Printf("[ingest report written to %s]\n", *ingestOut)
+				}
+				if !res.Identical {
+					return nil, fmt.Errorf("replay divergence: two pipeline passes over %s produced different reports", res.Path)
 				}
 				return wrapped{res}, nil
 			})

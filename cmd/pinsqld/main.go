@@ -24,11 +24,19 @@
 // diagnosed and committed, durable topics are sealed, and the process
 // exits 0.
 //
+// With -ingest the daemon monitors a recorded trace instead of the
+// simulator: a MySQL slow query log, a pg_stat_activity-style wait-event
+// sample stream, or a pinsql trace file (gzip detected automatically,
+// format guessed from the name unless -ingest-format says otherwise).
+// The recording is replayed through the identical pipeline — windowed,
+// detected, diagnosed — and the run ends when the trace does.
+//
 // Usage:
 //
 //	pinsqld -windows 6 -window 1200 -auto-repair
 //	pinsqld -data-dir /var/lib/pinsql -windows 6     # durable, resumable
 //	pinsqld -instances 8 -serve :8080                # fleet + control plane
+//	pinsqld -ingest slow.log.gz -ingest-format slowlog
 package main
 
 import (
@@ -39,10 +47,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"pinsql/internal/fleet"
+	"pinsql/internal/ingest"
 )
 
 func main() {
@@ -57,8 +68,33 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "directory for the durable per-instance stores (empty = in-memory)")
 		syncEvery  = flag.Int("sync-every", 0, "fsync the log-store wal every N records (0 = only at seal/close; process-crash safe either way)")
 		serve      = flag.String("serve", "", "address for the HTTP control plane (empty = run to completion and exit)")
+
+		ingestPath   = flag.String("ingest", "", "replay a recorded trace file instead of simulating (slow log, wait-event JSONL, or pinsql trace; .gz fine)")
+		ingestFormat = flag.String("ingest-format", "", "trace format: slowlog, waitevents, or trace (empty = guess from the file name)")
+		ingestSpeed  = flag.Float64("ingest-speed", 0, "pace trace replay against the wall clock at this factor (0 = as fast as possible)")
 	)
 	flag.Parse()
+
+	// Ingest mode defaults differ where the simulator's do not fit:
+	// recorded traces are minutes long, so windows default to 2 simulated
+	// minutes and the run ends with the trace.
+	windowSet, windowsSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "window":
+			windowSet = true
+		case "windows":
+			windowsSet = true
+		}
+	})
+	if *ingestPath != "" {
+		if !windowSet {
+			*windowSec = 120
+		}
+		if !windowsSet {
+			*windows = 0 // until the trace ends
+		}
+	}
 
 	opt := fleet.Options{
 		Workers:    *workers,
@@ -66,17 +102,49 @@ func main() {
 		DataDir:    *dataDir,
 		SyncEvery:  *syncEvery,
 	}
-	if err := run(*instances, *windows, *windowSec, *seed, *autoRepair, opt, *serve); err != nil {
+	ing := ingestConfig{path: *ingestPath, format: *ingestFormat, speed: *ingestSpeed}
+	if err := run(*instances, *windows, *windowSec, *seed, *autoRepair, opt, *serve, ing); err != nil {
 		fmt.Fprintln(os.Stderr, "pinsqld:", err)
 		os.Exit(1)
 	}
 }
 
-func run(instances, windows, windowSec int, seed int64, autoRepair bool, opt fleet.Options, serve string) error {
+type ingestConfig struct {
+	path   string
+	format string
+	speed  float64
+}
+
+// traceSpec builds the trace-backed instance spec for -ingest: one
+// instance, named after the file, replaying through the ingest stack.
+func (c ingestConfig) traceSpec(windows, windowSec int) fleet.InstanceSpec {
+	id := strings.TrimSuffix(filepath.Base(c.path), ".gz")
+	if ext := filepath.Ext(id); ext != "" {
+		id = strings.TrimSuffix(id, ext)
+	}
+	spec := fleet.TraceSpec(id, windowSec, func() (ingest.Source, error) {
+		return ingest.Open(c.path, c.format, ingest.OpenOptions{
+			Replay: ingest.ReplayOptions{Speed: c.speed},
+		})
+	})
+	spec.Windows = windows
+	return spec
+}
+
+func run(instances, windows, windowSec int, seed int64, autoRepair bool, opt fleet.Options, serve string, ing ingestConfig) error {
 	var specs []fleet.InstanceSpec
-	if instances <= 1 {
+	switch {
+	case ing.path != "":
+		if autoRepair {
+			return fmt.Errorf("-auto-repair has no live database to act on in -ingest mode")
+		}
+		if instances > 1 {
+			return fmt.Errorf("-ingest replays one trace; drop -instances")
+		}
+		specs = []fleet.InstanceSpec{ing.traceSpec(windows, windowSec)}
+	case instances <= 1:
 		specs = []fleet.InstanceSpec{fleet.DefaultSpec("pinsqld", seed, windows, windowSec)}
-	} else {
+	default:
 		specs = fleet.DefaultFleet(instances, seed, windows, windowSec)
 	}
 	for i := range specs {

@@ -1,0 +1,123 @@
+// Command gen regenerates the committed example slow log
+// (examples/ingest/orders-slow.log.gz): an 8-minute recording of a small
+// shop database — a few QPS of healthy point reads with a row-lock storm
+// on `orders` in the middle, where a batch of long UPDATEs piles up and
+// the active-session count spikes. Deterministic for a fixed -seed, so
+// the committed fixture is reproducible byte for byte.
+//
+// Usage (from the repo root):
+//
+//	go run ./examples/ingest/gen -o examples/ingest/orders-slow.log.gz
+package main
+
+import (
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+const epoch = 1685613600 // 2023-06-01T10:00:00Z
+
+type entry struct {
+	emitMs int64
+	text   string
+}
+
+func main() {
+	out := flag.String("o", "examples/ingest/orders-slow.log.gz", "output path (gzip)")
+	seed := flag.Int64("seed", 7, "generator seed")
+	durSec := flag.Int("dur", 480, "trace length in seconds")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var entries []entry
+
+	add := func(startMs int64, queryTime, lockTime float64, rowsExamined int64, sql string) {
+		emit := startMs + int64(queryTime*1000)
+		hdr := time.UnixMilli(emit).UTC().Format("2006-01-02T15:04:05.000000Z07:00")
+		var b strings.Builder
+		fmt.Fprintf(&b, "# Time: %s\n", hdr)
+		fmt.Fprintf(&b, "# User@Host: shop[shop] @ app-%02d [10.1.0.%d]  Id: %5d\n", rng.Intn(4)+1, rng.Intn(200)+10, rng.Intn(9000)+100)
+		fmt.Fprintf(&b, "# Query_time: %.6f  Lock_time: %.6f Rows_sent: %d  Rows_examined: %d\n",
+			queryTime, lockTime, rng.Intn(20), rowsExamined)
+		fmt.Fprintf(&b, "SET timestamp=%.3f;\n", float64(startMs)/1000)
+		fmt.Fprintf(&b, "%s\n", sql)
+		entries = append(entries, entry{emitMs: emit, text: b.String()})
+	}
+
+	baseline := []func() (string, float64, int64){
+		func() (string, float64, int64) {
+			return fmt.Sprintf("SELECT * FROM orders WHERE id = %d;", rng.Intn(90000)+1000), 0.05 + rng.Float64()*0.2, int64(rng.Intn(40) + 1)
+		},
+		func() (string, float64, int64) {
+			return fmt.Sprintf("SELECT sku, qty FROM inventory WHERE warehouse_id = %d AND sku IN (%d, %d, %d);",
+				rng.Intn(5)+1, rng.Intn(500), rng.Intn(500), rng.Intn(500)), 0.08 + rng.Float64()*0.3, int64(rng.Intn(900) + 50)
+		},
+		func() (string, float64, int64) {
+			return fmt.Sprintf("SELECT c.name, o.total FROM orders o JOIN customers c ON c.id = o.customer_id WHERE o.id = %d;",
+				rng.Intn(90000)+1000), 0.1 + rng.Float64()*0.4, int64(rng.Intn(300) + 10)
+		},
+		func() (string, float64, int64) {
+			return fmt.Sprintf("INSERT INTO audit_log (actor, action, at) VALUES ('app', 'view:%d', NOW());", rng.Intn(1000)), 0.02 + rng.Float64()*0.1, 1
+		},
+	}
+
+	// The last two seconds stay quiet so every statement finishes inside
+	// the recording — no stragglers spilling into a fifth, empty window.
+	for sec := 0; sec < *durSec-2; sec++ {
+		tMs := int64(epoch+sec) * 1000
+		// Healthy floor: 3–5 short statements per second.
+		n := 3 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			mk := baseline[rng.Intn(len(baseline))]
+			sql, qt, rows := mk()
+			add(tMs+int64(rng.Intn(1000)), qt, rng.Float64()*0.002, rows, sql)
+		}
+		// The incident: between t=160 and t=200 a reporting batch holds
+		// row locks on orders, and a pile of UPDATEs queues behind it.
+		if sec >= 160 && sec < 200 && sec%2 == 0 {
+			for i := 0; i < 3; i++ {
+				qt := 4 + rng.Float64()*6
+				lock := qt * (0.6 + rng.Float64()*0.35)
+				add(tMs+int64(rng.Intn(1000)), qt, lock, int64(rng.Intn(2000)+100),
+					fmt.Sprintf("UPDATE orders SET qty = qty - %d, updated_at = NOW() WHERE id = %d;", rng.Intn(3)+1, rng.Intn(50)+1))
+			}
+		}
+		if sec == 160 {
+			add(tMs, 55, 0.01, 4_800_000,
+				"SELECT o.id, SUM(oi.qty * oi.price) FROM orders o JOIN order_items oi ON oi.order_id = o.id GROUP BY o.id ORDER BY 2 DESC;")
+		}
+	}
+
+	// A slow log is written at statement completion: emission order.
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].emitMs < entries[j].emitMs })
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	fmt.Fprintf(zw, "/usr/sbin/mysqld, Version: 8.0.32 (MySQL Community Server - GPL). started with:\n")
+	fmt.Fprintf(zw, "Tcp port: 3306  Unix socket: /var/run/mysqld/mysqld.sock\n")
+	fmt.Fprintf(zw, "Time                 Id Command    Argument\n")
+	for _, e := range entries {
+		fmt.Fprint(zw, e.text)
+	}
+	if err := zw.Close(); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d entries over %d seconds\n", *out, len(entries), *durSec)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gen:", err)
+	os.Exit(1)
+}

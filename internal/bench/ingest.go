@@ -1,0 +1,160 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"pinsql/internal/fleet"
+	"pinsql/internal/ingest"
+)
+
+// IngestBenchOptions configures the trace-replay benchmark.
+type IngestBenchOptions struct {
+	// Path is the trace file to replay; empty selects the committed
+	// example recording (resolved against the repo root).
+	Path string
+
+	// Format is the trace format, "" to guess from the name.
+	Format string
+
+	// WindowSec is the monitoring window length. Default 120.
+	WindowSec int
+}
+
+// IngestBench is the document behind BENCH_ingest.json: parse throughput
+// of the raw adapter stack, end-to-end monitoring throughput of the same
+// trace through the fleet, and a determinism verdict from replaying the
+// pipeline twice.
+type IngestBench struct {
+	Path      string `json:"path"`
+	WindowSec int    `json:"window_sec"`
+
+	// Parse-only pass: the adapter stack drained with no pipeline.
+	Records            int64   `json:"records"`
+	ParseErrors        int64   `json:"parse_errors"`
+	ParseErrorRate     float64 `json:"parse_error_rate"`
+	TraceSeconds       int64   `json:"trace_seconds"`
+	ParseWallSec       float64 `json:"parse_wall_sec"`
+	ParseRecordsPerSec float64 `json:"parse_records_per_sec"`
+
+	// Full-pipeline pass (run twice; timings from the first).
+	Windows        int     `json:"windows"`
+	Anomalies      int     `json:"anomalies"`
+	ReplayWallSec  float64 `json:"replay_wall_sec"`
+	WindowsPerSec  float64 `json:"windows_per_sec"`
+	SpeedupVsTrace float64 `json:"speedup_vs_trace"` // trace seconds / replay wall seconds
+
+	// Identical is the determinism verdict: both full-pipeline replays
+	// produced byte-identical fleet reports.
+	Identical bool `json:"identical"`
+}
+
+// RunIngestBench replays a recorded trace through the full pipeline and
+// measures the ingestion path. The pipeline pass runs twice; a report
+// mismatch is reported in Identical (the caller decides whether that is
+// fatal) — determinism is part of the ingest contract, same as the
+// simulator's.
+func RunIngestBench(opt IngestBenchOptions) (*IngestBench, error) {
+	if opt.Path == "" {
+		opt.Path = "examples/ingest/orders-slow.log.gz"
+	}
+	if opt.WindowSec <= 0 {
+		opt.WindowSec = 120
+	}
+	out := &IngestBench{Path: opt.Path, WindowSec: opt.WindowSec}
+
+	// Pass 1: raw adapter throughput, no pipeline behind it.
+	src, err := ingest.Open(opt.Path, opt.Format, ingest.OpenOptions{})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			src.Close()
+			return nil, err
+		}
+		out.Records += int64(len(b.Records))
+		out.TraceSeconds++
+	}
+	out.ParseWallSec = time.Since(start).Seconds()
+	if c, ok := src.(ingest.Counting); ok {
+		st := c.Stats()
+		out.ParseErrors = st.ParseErrors
+		if total := st.Records + st.ParseErrors; total > 0 {
+			out.ParseErrorRate = float64(st.ParseErrors) / float64(total)
+		}
+	}
+	if out.ParseWallSec > 0 {
+		out.ParseRecordsPerSec = float64(out.Records) / out.ParseWallSec
+	}
+	if err := src.Close(); err != nil {
+		return nil, err
+	}
+
+	// Pass 2 and 3: the full pipeline, twice, compared byte for byte.
+	report1, err := replayOnce(opt, out)
+	if err != nil {
+		return nil, err
+	}
+	saveWall, saveWindows, saveAnomalies := out.ReplayWallSec, out.Windows, out.Anomalies
+	report2, err := replayOnce(opt, out)
+	if err != nil {
+		return nil, err
+	}
+	out.ReplayWallSec, out.Windows, out.Anomalies = saveWall, saveWindows, saveAnomalies
+	out.Identical = report1 == report2
+	if out.ReplayWallSec > 0 {
+		out.WindowsPerSec = float64(out.Windows) / out.ReplayWallSec
+		out.SpeedupVsTrace = float64(out.TraceSeconds) / out.ReplayWallSec
+	}
+	return out, nil
+}
+
+// replayOnce monitors the trace through a one-instance fleet and returns
+// the final report text.
+func replayOnce(opt IngestBenchOptions, out *IngestBench) (string, error) {
+	spec := fleet.TraceSpec("bench-ingest", opt.WindowSec, func() (ingest.Source, error) {
+		return ingest.Open(opt.Path, opt.Format, ingest.OpenOptions{})
+	})
+	f, err := fleet.New([]fleet.InstanceSpec{spec}, fleet.Options{Workers: 2})
+	if err != nil {
+		return "", err
+	}
+	start := time.Now()
+	f.Start()
+	if err := f.Wait(); err != nil {
+		f.Close()
+		return "", err
+	}
+	out.ReplayWallSec = time.Since(start).Seconds()
+	report := f.Report()
+	out.Windows = 0
+	out.Anomalies = 0
+	for _, is := range f.Status().Instances {
+		out.Windows += is.Committed
+	}
+	out.Anomalies = strings.Count(report, " anomaly ")
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	return report, nil
+}
+
+// Format renders the benchmark as a human-readable block.
+func (b *IngestBench) Format() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "Ingest replay bench: %s (%ds windows)\n", b.Path, b.WindowSec)
+	fmt.Fprintf(&s, "  parse:  %d records over %ds of trace, %d malformed (%.2f%%), %.0f rec/s\n",
+		b.Records, b.TraceSeconds, b.ParseErrors, b.ParseErrorRate*100, b.ParseRecordsPerSec)
+	fmt.Fprintf(&s, "  replay: %d windows, %d anomalies, %.2fs wall (%.1f win/s, %.0fx trace time)\n",
+		b.Windows, b.Anomalies, b.ReplayWallSec, b.WindowsPerSec, b.SpeedupVsTrace)
+	fmt.Fprintf(&s, "  deterministic: %v\n", b.Identical)
+	return s.String()
+}

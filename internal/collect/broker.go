@@ -21,7 +21,8 @@ type Broker struct {
 
 type subscription struct {
 	ch      chan dbsim.LogRecord
-	dropped atomic.Int64 // atomic: Publish only holds the read lock
+	done    chan struct{} // closed with ch; PublishBlocking's escape hatch
+	dropped atomic.Int64  // atomic: Publish only holds the read lock
 	closed  bool
 }
 
@@ -40,7 +41,7 @@ func (b *Broker) Subscribe(topic string, buffer int) (<-chan dbsim.LogRecord, fu
 	if buffer < 1 {
 		buffer = 1
 	}
-	sub := &subscription{ch: make(chan dbsim.LogRecord, buffer)}
+	sub := &subscription{ch: make(chan dbsim.LogRecord, buffer), done: make(chan struct{})}
 	b.mu.Lock()
 	b.subs[topic] = append(b.subs[topic], sub)
 	if b.lost[topic] == nil {
@@ -68,6 +69,7 @@ func (b *Broker) Subscribe(topic string, buffer int) (<-chan dbsim.LogRecord, fu
 func closeSub(sub *subscription) {
 	if !sub.closed {
 		sub.closed = true
+		close(sub.done)
 		close(sub.ch)
 	}
 }
@@ -104,9 +106,44 @@ func (b *Broker) Dropped(topic string) int64 {
 	return 0
 }
 
+// PublishBlocking delivers a record to every subscriber of the topic,
+// waiting for buffer space instead of dropping — the lossless mode trace
+// replay needs: a replayed window can be pumped arbitrarily faster than
+// real time, and a dropped record would break the bit-reproducibility of
+// its diagnosis. The producer is throttled to the consumer, so callers
+// must keep every subscription of the topic draining until the publisher
+// is done, and must not cancel a subscription (or Close the broker) while
+// a blocking publish is in flight.
+func (b *Broker) PublishBlocking(topic string, rec dbsim.LogRecord) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return
+	}
+	subs := append([]*subscription(nil), b.subs[topic]...)
+	b.mu.RUnlock()
+	for _, sub := range subs {
+		select {
+		case <-sub.done:
+			continue // cancelled since the snapshot
+		default:
+		}
+		select {
+		case sub.ch <- rec:
+		case <-sub.done:
+		}
+	}
+}
+
 // Sink returns a dbsim.LogSink publishing to the topic.
 func (b *Broker) Sink(topic string) dbsim.LogSink {
 	return func(rec dbsim.LogRecord) { b.Publish(topic, rec) }
+}
+
+// BlockingSink returns a dbsim.LogSink publishing losslessly to the topic
+// (see PublishBlocking for the draining contract).
+func (b *Broker) BlockingSink(topic string) dbsim.LogSink {
+	return func(rec dbsim.LogRecord) { b.PublishBlocking(topic, rec) }
 }
 
 // Close detaches and closes every subscription; subsequent publishes are

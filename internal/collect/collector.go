@@ -210,12 +210,41 @@ func (c *Collector) Ingest(rec dbsim.LogRecord) {
 	c.mu.Unlock()
 }
 
-// IngestMetrics stores the instance's per-second performance metrics. The
-// rows must cover the collector's window in order.
+// IngestMetrics stores the instance's per-second performance metrics.
+//
+// Contract (audited for the ingest layer): placement is positional, not
+// keyed — row i of the accumulated calls lands at window second i and the
+// rows' Second fields are ignored. That is exactly right for stacking
+// multiple simulator runs into one window (each dbsim run's rows are
+// 0-based, as in the Fig. 8 scripted scenario), and exactly wrong for
+// real samplers, whose rows are sparse and sometimes double-reported:
+// a gap would shift every later row one second early. Samplers and the
+// trace replay path must use IngestMetricsAt.
 func (c *Collector) IngestMetrics(rows []dbsim.SecondMetrics) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.metrics = append(c.metrics, rows...)
+	c.frame = nil
+}
+
+// IngestMetricsAt stores per-second performance metrics keyed by each
+// row's window-relative Second: gaps stay zero rows, a duplicated second
+// keeps the last row, rows outside [0, seconds) are dropped. For the
+// dense 0-based rows the simulator produces this is bit-identical to
+// IngestMetrics; for sparse sampler output it places every row at its
+// actual second.
+func (c *Collector) IngestMetricsAt(rows []dbsim.SecondMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range rows {
+		if m.Second < 0 || m.Second >= int64(c.seconds) {
+			continue
+		}
+		for int64(len(c.metrics)) <= m.Second {
+			c.metrics = append(c.metrics, dbsim.SecondMetrics{Second: int64(len(c.metrics))})
+		}
+		c.metrics[m.Second] = m
+	}
 	c.frame = nil
 }
 

@@ -1,0 +1,133 @@
+package collect
+
+// Tests for the two collect-layer pieces the ingest seam rides on: the
+// broker's lossless blocking sink and the keyed metric-ingestion path.
+
+import (
+	"sync"
+	"testing"
+
+	"pinsql/internal/dbsim"
+)
+
+// TestBrokerBlockingSinkLossless pushes far more records through a tiny
+// buffer than it can hold: with a draining consumer every record must
+// arrive, in order, with zero drops — the property trace replay (which
+// pumps windows much faster than real time) depends on.
+func TestBrokerBlockingSinkLossless(t *testing.T) {
+	const total = 100_000
+	b := NewBroker()
+	defer b.Close()
+	ch, cancel := b.Subscribe("t", 8)
+
+	var got []int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for rec := range ch {
+			got = append(got, rec.ArrivalMs)
+		}
+	}()
+
+	sink := b.BlockingSink("t")
+	for i := 0; i < total; i++ {
+		sink(dbsim.LogRecord{ArrivalMs: int64(i)})
+	}
+	cancel()
+	wg.Wait()
+
+	if len(got) != total {
+		t.Fatalf("delivered %d records, want %d", len(got), total)
+	}
+	for i, v := range got {
+		if v != int64(i) {
+			t.Fatalf("record %d out of order: %d", i, v)
+		}
+	}
+	if d := b.Dropped("t"); d != 0 {
+		t.Fatalf("blocking sink dropped %d records", d)
+	}
+}
+
+// TestBrokerBlockingSinkCancelledSubscription checks the escape hatch: a
+// blocking publish to a topic whose only subscription was cancelled (and
+// is no longer draining) must not deadlock.
+func TestBrokerBlockingSinkCancelledSubscription(t *testing.T) {
+	b := NewBroker()
+	defer b.Close()
+	_, cancel := b.Subscribe("t", 1)
+	cancel()
+	b.PublishBlocking("t", dbsim.LogRecord{}) // must return, not block
+}
+
+// TestIngestMetricsAtSparse is the satellite regression test for real
+// samplers: gaps stay zero, duplicated seconds last-win, out-of-range
+// rows are dropped — and nothing shifts.
+func TestIngestMetricsAtSparse(t *testing.T) {
+	c := NewCollector("t", 0, 5000, nil, nil)
+	c.IngestMetricsAt([]dbsim.SecondMetrics{
+		{Second: 1, ActiveSession: 10, QPS: 100},
+		{Second: 3, ActiveSession: 30},
+		{Second: 3, ActiveSession: 33}, // duplicate: last wins
+		{Second: -1, ActiveSession: 99},
+		{Second: 5, ActiveSession: 99}, // past the window: dropped
+	})
+	snap := c.Snapshot()
+	want := []float64{0, 10, 0, 33, 0}
+	for i, w := range want {
+		if snap.ActiveSession[i] != w {
+			t.Fatalf("ActiveSession[%d] = %v, want %v (series %v)", i, snap.ActiveSession[i], w, snap.ActiveSession)
+		}
+	}
+	if snap.QPS[1] != 100 {
+		t.Fatalf("QPS[1] = %v, want 100", snap.QPS[1])
+	}
+	// Late keyed rows may fill an earlier gap.
+	c.IngestMetricsAt([]dbsim.SecondMetrics{{Second: 2, ActiveSession: 20}})
+	if snap := c.Snapshot(); snap.ActiveSession[2] != 20 {
+		t.Fatalf("backfilled ActiveSession[2] = %v, want 20", snap.ActiveSession[2])
+	}
+}
+
+// TestIngestMetricsAtMatchesAppendForDenseRows pins the equivalence the
+// fleet's no-op refactor relies on: for the dense 0-based rows a
+// simulator run produces, the keyed path and the legacy positional append
+// build identical snapshots.
+func TestIngestMetricsAtMatchesAppendForDenseRows(t *testing.T) {
+	rows := make([]dbsim.SecondMetrics, 4)
+	for i := range rows {
+		rows[i] = dbsim.SecondMetrics{
+			Second: int64(i), ActiveSession: float64(i) * 1.5, CPUUsage: 10 + float64(i),
+			QPS: 7 * i, RowLockWaits: i, SampleOffsetMs: i * 13,
+		}
+	}
+	a := NewCollector("t", 0, 4000, nil, nil)
+	a.IngestMetrics(rows)
+	b := NewCollector("t", 0, 4000, nil, nil)
+	b.IngestMetricsAt(rows)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	for i := 0; i < 4; i++ {
+		if sa.ActiveSession[i] != sb.ActiveSession[i] || sa.CPUUsage[i] != sb.CPUUsage[i] ||
+			sa.QPS[i] != sb.QPS[i] || sa.RowLockWaits[i] != sb.RowLockWaits[i] {
+			t.Fatalf("second %d: keyed and positional ingestion diverge", i)
+		}
+	}
+}
+
+// TestIngestMetricsAppendContract documents the audited legacy behavior:
+// positional append ignores the rows' Second fields, which is what lets
+// multiple 0-based simulator runs stack into one window (the Fig. 8
+// scripted scenario) — and why samplers must not use it.
+func TestIngestMetricsAppendContract(t *testing.T) {
+	c := NewCollector("t", 0, 4000, nil, nil)
+	c.IngestMetrics([]dbsim.SecondMetrics{{Second: 0, ActiveSession: 1}, {Second: 1, ActiveSession: 2}})
+	c.IngestMetrics([]dbsim.SecondMetrics{{Second: 0, ActiveSession: 3}, {Second: 1, ActiveSession: 4}})
+	snap := c.Snapshot()
+	want := []float64{1, 2, 3, 4}
+	for i, w := range want {
+		if snap.ActiveSession[i] != w {
+			t.Fatalf("ActiveSession = %v, want %v", snap.ActiveSession, want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net/url"
 	"os"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 	"pinsql/internal/collect"
 	"pinsql/internal/core"
 	"pinsql/internal/dbsim"
+	"pinsql/internal/ingest"
 	"pinsql/internal/logstore"
 	"pinsql/internal/logstore/segment"
 	"pinsql/internal/obs"
@@ -54,9 +56,11 @@ type Options struct {
 	DiagnosisWorkers int
 
 	// BrokerBuffer is the per-window subscription buffer between the
-	// simulator and the stream aggregator. Default 65536. Overflow drops
-	// records (counted, never blocking the simulator) — and a window
-	// with drops is no longer bit-reproducible, so size generously.
+	// trace player and the stream aggregator. Default 65536. The player
+	// publishes losslessly (a replayed window is pumped much faster than
+	// real time, and a dropped record would break bit-reproducibility),
+	// so the buffer is pipe depth, not a drop threshold: a full buffer
+	// throttles the player to the aggregator.
 	BrokerBuffer int
 
 	// Metrics receives the fleet's counters and gauges; nil creates a
@@ -106,8 +110,10 @@ type stagedWindow struct {
 // instState is the per-tenant state machine.
 type instState struct {
 	spec     InstanceSpec
-	world    *workload.World
-	sim      *dbsim.Instance
+	world    *workload.World // nil for trace-backed instances
+	sim      *dbsim.Instance // nil for trace-backed instances
+	play     *ingest.Player  // the instance's raw stream, window by window
+	srcEOF   bool            // the source is exhausted; simulate no further
 	registry *collect.Registry
 	store    logstore.Backend
 	seg      *segment.Store // non-nil in durable mode
@@ -183,6 +189,10 @@ func New(specs []InstanceSpec, opt Options) (*Fleet, error) {
 		if _, dup := f.insts[spec.ID]; dup {
 			return nil, fmt.Errorf("fleet: duplicate instance ID %q", spec.ID)
 		}
+		if spec.Trace != nil && spec.AutoRepair {
+			f.Close()
+			return nil, fmt.Errorf("fleet: instance %s: AutoRepair requires a simulator-backed spec (a recorded trace has no live database to act on)", spec.ID)
+		}
 		st, err := f.openInstance(spec)
 		if err != nil {
 			f.Close()
@@ -227,46 +237,78 @@ func (f *Fleet) openInstance(spec InstanceSpec) (*instState, error) {
 		seg.TruncateFrom(spec.ID, int64(len(st.reports))*windowMs)
 	}
 
-	world, cfg := spec.Setup(spec.Seed)
-	st.world = world
-	st.sim = dbsim.NewInstance(cfg)
-	world.Apply(st.sim)
+	if spec.Trace != nil {
+		src, err := spec.Trace()
+		if err != nil {
+			st.closeStorage()
+			return nil, err
+		}
+		st.play = ingest.NewPlayer(src)
+	} else {
+		world, cfg := spec.Setup(spec.Seed)
+		st.world = world
+		st.sim = dbsim.NewInstance(cfg)
+		world.Apply(st.sim)
 
-	// Replay committed history in window order: injections first (they
-	// consume the world's RNG stream exactly as the original run did),
-	// then that window's executed repairing actions.
-	opt := repair.DefaultOptimizer()
-	for _, rep := range st.reports {
-		spec.Inject(world, rep.Window, rep.FromMs, rep.ToMs)
-		for _, a := range rep.Anomalies {
-			for _, act := range a.Actions {
-				if !act.Executed {
-					continue
-				}
-				switch act.Action {
-				case repair.ActionThrottle:
-					if act.DurationMs > 0 {
-						st.sim.SetThrottleUntil(act.Template, act.Value, rep.ToMs+act.DurationMs)
-					} else {
-						st.sim.SetThrottle(act.Template, act.Value)
+		// Replay committed history in window order: injections first (they
+		// consume the world's RNG stream exactly as the original run did),
+		// then that window's executed repairing actions.
+		opt := repair.DefaultOptimizer()
+		for _, rep := range st.reports {
+			spec.Inject(world, rep.Window, rep.FromMs, rep.ToMs)
+			for _, a := range rep.Anomalies {
+				for _, act := range a.Actions {
+					if !act.Executed {
+						continue
 					}
-				case repair.ActionOptimize:
-					if sp := world.SpecByID(sqltemplate.ID(act.Template)); sp != nil {
-						sp.ApplyOptimization(opt.RowsFactor, opt.TimeFactor)
+					switch act.Action {
+					case repair.ActionThrottle:
+						if act.DurationMs > 0 {
+							st.sim.SetThrottleUntil(act.Template, act.Value, rep.ToMs+act.DurationMs)
+						} else {
+							st.sim.SetThrottle(act.Template, act.Value)
+						}
+					case repair.ActionOptimize:
+						if sp := world.SpecByID(sqltemplate.ID(act.Template)); sp != nil {
+							sp.ApplyOptimization(opt.RowsFactor, opt.TimeFactor)
+						}
+					case repair.ActionAutoScale:
+						cur := st.sim.Cores()
+						target := int(float64(cur) * act.Value)
+						if target <= cur {
+							target = cur + 1
+						}
+						st.sim.SetCores(target)
 					}
-				case repair.ActionAutoScale:
-					cur := st.sim.Cores()
-					target := int(float64(cur) * act.Value)
-					if target <= cur {
-						target = cur + 1
-					}
-					st.sim.SetCores(target)
 				}
 			}
 		}
+		st.play = ingest.NewPlayer(ingest.NewSimSource(world, st.sim, spec.Seed, spec.Windows, spec.WindowSec))
 	}
 	st.nextSim = len(st.reports)
+	// Resume the raw stream at the first uncommitted window boundary: the
+	// simulator source seeks (windows re-derive from the seed, as pre-seam
+	// recovery did), recorded traces skip their committed prefix.
+	if st.nextSim > 0 {
+		if err := st.play.SkipTo(int64(st.nextSim) * windowMs); err != nil {
+			st.play.Close()
+			st.closeStorage()
+			return nil, err
+		}
+	}
 	return st, nil
+}
+
+// closeStorage releases an instance's storage handles on an openInstance
+// error path (the instance never makes it into f.insts, so Close would
+// miss it).
+func (st *instState) closeStorage() {
+	if st.seg != nil {
+		st.seg.Close()
+	}
+	if st.journal != nil {
+		st.journal.Close()
+	}
 }
 
 // registerMetrics wires the fleet's counters and callback series into the
@@ -298,6 +340,15 @@ func (f *Fleet) registerMetrics() {
 			_, miss, _ := st.registry.RawCacheStats()
 			return float64(miss)
 		}, lbl)
+		m.CounterFunc("pinsql_ingest_records_total", "Trace records delivered into the monitoring pipeline.", func() float64 {
+			return float64(st.play.Stats().Records)
+		}, lbl)
+		m.CounterFunc("pinsql_ingest_parse_errors_total", "Malformed trace inputs counted and skipped by the source chain.", func() float64 {
+			return float64(st.play.Stats().ParseErrors)
+		}, lbl)
+		m.GaugeFunc("pinsql_ingest_lag_seconds", "Known trace end minus the replay playhead.", func() float64 {
+			return st.play.Stats().LagSeconds
+		}, lbl)
 		id := id
 		m.CounterFunc("pinsql_broker_dropped_total", "Records dropped by the broker under backpressure.", func() float64 {
 			return float64(f.broker.Dropped(id))
@@ -327,11 +378,21 @@ func (f *Fleet) Start() {
 // a time (dbsim instances are not concurrency-safe); an auto-repairing
 // instance additionally runs in lockstep with its commits, because
 // repairs mutate the world the next window simulates.
+// doneSimLocked reports whether the instance has no further windows to
+// play: its window budget is exhausted, or its source hit end of trace.
+// Callers hold f.mu.
+func (st *instState) doneSimLocked() bool {
+	if st.srcEOF {
+		return true
+	}
+	return st.spec.Windows > 0 && st.nextSim >= st.spec.Windows
+}
+
 func (f *Fleet) maybeScheduleSim(st *instState) {
 	if st.simActive || st.err != nil || f.draining || f.dead {
 		return
 	}
-	if st.nextSim >= st.spec.Windows {
+	if st.doneSimLocked() {
 		return
 	}
 	if st.spec.AutoRepair && st.nextSim != len(st.reports) {
@@ -353,11 +414,12 @@ func (f *Fleet) maybeScheduleDrain(st *instState) {
 	f.pool.SubmitLow(func() { f.runDrain(st) })
 }
 
-// runSim simulates window w and stages its output, shedding the oldest
-// queued window when the queue is full — the simulator is never blocked.
+// runSim plays window w and stages its output, shedding the oldest
+// queued window when the queue is full — the player is never blocked on
+// diagnosis.
 func (f *Fleet) runSim(st *instState, w int) {
 	start := time.Now()
-	sw, err := f.simWindow(st, w)
+	sw, more, err := f.simWindow(st, w)
 	f.stages.collect.Observe(time.Since(start).Seconds())
 	f.mu.Lock()
 	defer f.mu.Unlock()
@@ -366,9 +428,18 @@ func (f *Fleet) runSim(st *instState, w int) {
 	if f.dead {
 		return
 	}
+	if err == io.EOF {
+		// The trace ended before this window's first second: nothing to
+		// stage, the instance is done simulating.
+		st.srcEOF = true
+		return
+	}
 	if err != nil {
 		st.err = err
 		return
+	}
+	if !more {
+		st.srcEOF = true
 	}
 	st.nextSim = w + 1
 	if len(st.queue) >= f.opt.QueueDepth {
@@ -388,44 +459,44 @@ func (f *Fleet) runSim(st *instState, w int) {
 	f.maybeScheduleSim(st)
 }
 
-// simWindow runs the collect/aggregate stage of one window: the simulator
-// streams through the broker into a staging collector backed by a private
-// in-memory store; nothing durable happens here.
-func (f *Fleet) simWindow(st *instState, w int) (*stagedWindow, error) {
+// simWindow runs the collect/aggregate stage of one window: the player
+// pumps the instance's source (the simulator or a recorded trace) through
+// the broker into a staging collector backed by a private in-memory
+// store; nothing durable happens here. It returns io.EOF when the trace
+// was exhausted before this window's first second.
+func (f *Fleet) simWindow(st *instState, w int) (*stagedWindow, bool, error) {
 	spec := st.spec
 	windowMs := int64(spec.WindowSec) * 1000
 	fromMs := int64(w) * windowMs
 	toMs := fromMs + windowMs
 
-	injected := spec.Inject(st.world, w, fromMs, toMs)
-	// Reseed the metric-sampling RNG per window so a crash-resumed run
-	// replays this window bit-identically regardless of prior history.
-	st.sim.ReseedSampling(windowSeed(spec.Seed, w))
+	injected := ""
+	if st.world != nil {
+		injected = spec.Inject(st.world, w, fromMs, toMs)
+	}
 
 	staging := logstore.New(0)
 	coll := collect.NewCollector(spec.ID, fromMs, toMs, st.registry, staging)
 	dropBefore := f.broker.Dropped(spec.ID)
 	ch, cancel := f.broker.Subscribe(spec.ID, f.opt.BrokerBuffer)
 	done := collect.NewStreamAggregator(coll).Consume(ch)
-	secs, err := st.sim.Run(dbsim.RunOptions{
-		StartMs: fromMs,
-		EndMs:   toMs,
-		Source:  st.world.Source(fromMs, toMs, spec.Seed+int64(w)),
-		Sink:    f.broker.Sink(spec.ID),
-	})
+	// Lossless publish: the player is throttled to the aggregator, which
+	// keeps draining until cancel — so the pump can run arbitrarily
+	// faster than trace time without shedding records.
+	rows, more, err := st.play.PlayWindow(fromMs, toMs, f.broker.BlockingSink(spec.ID))
 	cancel()
 	<-done
 	if err != nil {
-		return nil, err
+		return nil, more, err
 	}
-	coll.IngestMetrics(secs)
+	coll.IngestMetricsAt(rows)
 
 	var sess, cpu float64
-	for _, s := range secs {
+	for _, s := range rows {
 		sess += s.ActiveSession
 		cpu += s.CPUUsage
 	}
-	if n := len(secs); n > 0 {
+	if n := len(rows); n > 0 {
 		sess /= float64(n)
 		cpu /= float64(n)
 	}
@@ -440,7 +511,7 @@ func (f *Fleet) simWindow(st *instState, w int) (*stagedWindow, error) {
 			MeanSession: sess,
 			MeanCPU:     cpu,
 		},
-	}, nil
+	}, more, nil
 }
 
 // runDrain pops the instance's oldest staged window, diagnoses it (unless
@@ -578,16 +649,23 @@ func (f *Fleet) commit(st *instState, sw *stagedWindow) error {
 				continue
 			}
 			env := repair.Environment{
-				Throttler: st.sim,
-				Scaler:    st.sim,
-				SpecOf: func(tid sqltemplate.ID) repair.Optimizable {
+				AutoExecute: st.spec.AutoRepair,
+				NowMs:       sw.toMs,
+			}
+			// A trace-backed instance has no live simulator/world: leave
+			// the interfaces nil (not typed-nil) so Execute records the
+			// actions as suggestions without executing anything.
+			if st.sim != nil {
+				env.Throttler = st.sim
+				env.Scaler = st.sim
+			}
+			if st.world != nil {
+				env.SpecOf = func(tid sqltemplate.ID) repair.Optimizable {
 					if sp := st.world.SpecByID(tid); sp != nil {
 						return sp
 					}
 					return nil
-				},
-				AutoExecute: st.spec.AutoRepair,
-				NowMs:       sw.toMs,
+				}
 			}
 			for _, s := range f.mod.Execute(env, sugg) {
 				sw.rep.Anomalies[i].Actions = append(sw.rep.Anomalies[i].Actions, ActionReport{
@@ -624,7 +702,7 @@ func (f *Fleet) settledLocked() bool {
 		if st.simActive || st.drainActive || len(st.queue) > 0 {
 			return false
 		}
-		if !f.draining && st.nextSim < st.spec.Windows {
+		if !f.draining && !st.doneSimLocked() {
 			return false
 		}
 	}
@@ -693,6 +771,11 @@ func (f *Fleet) Close() error {
 		st := f.insts[id]
 		if dead {
 			continue
+		}
+		if st.play != nil {
+			if err := st.play.Close(); err != nil && first == nil {
+				first = err
+			}
 		}
 		if st.seg != nil {
 			if err := st.seg.Seal(); err != nil && first == nil {
@@ -792,7 +875,7 @@ func (f *Fleet) Status() Status {
 			Records:    st.cRecords.Value(),
 			Dropped:    f.broker.Dropped(id),
 			AutoRepair: st.spec.AutoRepair,
-			Done:       len(st.reports) >= st.spec.Windows,
+			Done:       st.doneSimLocked() && len(st.reports) == st.nextSim,
 		}
 		for _, rep := range st.reports {
 			is.Anomalies += len(rep.Anomalies)

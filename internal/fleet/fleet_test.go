@@ -274,10 +274,24 @@ func TestFleetHTTP(t *testing.T) {
 		`pinsql_registry_raw_cache_hits_total{instance=`,
 		`pinsql_broker_dropped_total{topic="inst-00"} 0`,
 		`pinsql_fleet_queue_depth{instance="inst-01"} 0`,
+		`pinsql_ingest_parse_errors_total{instance="inst-00"} 0`,
+		`pinsql_ingest_lag_seconds{instance="inst-01"} 0`,
 	} {
 		if !strings.Contains(metrics, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, metrics)
 		}
+	}
+	// The simulator replays through the ingest seam like any trace, so
+	// its records counter must reflect the committed windows.
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, `pinsql_ingest_records_total{instance="inst-00"}`) {
+			if strings.HasSuffix(line, " 0") {
+				t.Fatalf("ingest records counter stuck at zero: %s", line)
+			}
+		}
+	}
+	if !strings.Contains(metrics, `pinsql_ingest_records_total{instance="inst-00"}`) {
+		t.Fatal("/metrics missing pinsql_ingest_records_total")
 	}
 	if !strings.Contains(get("/debug/pprof/cmdline", 200), "fleet") {
 		t.Fatal("pprof cmdline endpoint not wired")

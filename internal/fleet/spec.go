@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"pinsql/internal/dbsim"
+	"pinsql/internal/ingest"
 	"pinsql/internal/workload"
 )
 
@@ -63,13 +64,25 @@ type InstanceSpec struct {
 	// injected). Injections are replayed in window order during crash
 	// recovery, so they must be deterministic in (window, world state).
 	// Nil selects the pinsqld default rotation (an incident every other
-	// window).
+	// window). Ignored by trace-backed specs (there is no world to
+	// mutate).
 	Inject func(w *workload.World, window int, fromMs, toMs int64) string
+
+	// Trace, when non-nil, makes this a trace-backed instance: the fleet
+	// monitors the recorded stream the returned ingest.Source yields
+	// instead of building a workload world and simulator. The builder is
+	// called once per fleet open — on crash recovery the fresh source is
+	// skipped to the first uncommitted window boundary. Trace-backed
+	// specs leave Setup/Inject unused, may set Windows to 0 ("replay
+	// until the trace ends"), and cannot set AutoRepair (there is no
+	// live database to act on).
+	Trace func() (ingest.Source, error)
 }
 
-// withDefaults fills nil hooks and zero values.
+// withDefaults fills nil hooks and zero values. A trace-backed spec keeps
+// Windows == 0: the trace's own length bounds the run.
 func (s InstanceSpec) withDefaults() InstanceSpec {
-	if s.Windows <= 0 {
+	if s.Windows <= 0 && s.Trace == nil {
 		s.Windows = 4
 	}
 	if s.WindowSec <= 0 {
@@ -146,10 +159,8 @@ func DefaultFleet(n int, baseSeed int64, windows, windowSec int) []InstanceSpec 
 	return specs
 }
 
-// windowSeed derives the per-window sampling seed: independent of how many
-// windows ran before (crash-resume replays a window bit-identically) and
-// spread by a splitmix-style odd multiplier so neighbouring windows do not
-// correlate.
-func windowSeed(seed int64, window int) int64 {
-	return seed ^ (int64(window)+1)*-0x61c8864680b583eb // 0x9E3779B97F4A7C15 as signed
+// TraceSpec builds a trace-backed spec: monitor the recorded stream in
+// windows of windowSec seconds until the trace ends.
+func TraceSpec(id string, windowSec int, trace func() (ingest.Source, error)) InstanceSpec {
+	return InstanceSpec{ID: id, WindowSec: windowSec, Trace: trace}
 }

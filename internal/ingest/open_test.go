@@ -1,0 +1,128 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenSlowLogGzipAndPlainAgree(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "slowlog_fixture.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "fixture.log")
+	if err := os.WriteFile(plain, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var zbuf bytes.Buffer
+	zw := gzip.NewWriter(&zbuf)
+	zw.Write(raw)
+	zw.Close()
+	zipped := filepath.Join(dir, "fixture.log.gz")
+	if err := os.WriteFile(zipped, zbuf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sum := func(path string) (batches int, records int64, st Stats) {
+		t.Helper()
+		src, err := Open(path, FormatAuto, OpenOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer src.Close()
+		for {
+			b, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			batches++
+			records += int64(len(b.Records))
+			if len(b.Metrics) == 0 {
+				t.Fatalf("second %d came out of the slow-log stack without a synthesized metric row", b.Second)
+			}
+		}
+		if c, ok := src.(Counting); ok {
+			st = c.Stats()
+		}
+		return
+	}
+
+	pb, pr, pst := sum(plain)
+	zb, zr, zst := sum(zipped)
+	if pb != zb || pr != zr || pst != zst {
+		t.Fatalf("plain (%d batches, %d recs, %+v) != gzip (%d batches, %d recs, %+v)", pb, pr, pst, zb, zr, zst)
+	}
+	if pr == 0 || pst.Records == 0 {
+		t.Fatal("no records came through the full slow-log stack")
+	}
+	if pst.ParseErrors == 0 {
+		t.Fatal("fixture parse errors not propagated through the stack")
+	}
+}
+
+func TestOpenWaitEvents(t *testing.T) {
+	src, err := Open(filepath.Join("testdata", "waitevents_fixture.jsonl"), FormatWaitEvents, OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	var prev int64 = -1
+	var withMetrics int
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Second != prev+1 {
+			t.Fatalf("not dense: second %d after %d", b.Second, prev)
+		}
+		prev = b.Second
+		if len(b.Metrics) > 0 {
+			withMetrics++
+		}
+	}
+	if prev < 30 {
+		t.Fatalf("replay ended at second %d, want ~39 fixture seconds", prev)
+	}
+	if withMetrics < 30 {
+		t.Fatalf("only %d seconds carried sampler metrics", withMetrics)
+	}
+}
+
+func TestOpenUnknownFormat(t *testing.T) {
+	if _, err := Open(filepath.Join("testdata", "slowlog_fixture.log"), "nonsense", OpenOptions{}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := Open(filepath.Join("testdata", "slowlog_fixture.log"), FormatTrace, OpenOptions{}); err == nil {
+		t.Fatal("slow log accepted as a trace header")
+	}
+}
+
+func TestGuessFormat(t *testing.T) {
+	cases := map[string]string{
+		"a/b/mysql-slow.log": FormatSlowLog,
+		"x.slow.gz":          FormatSlowLog,
+		"samples.jsonl":      FormatWaitEvents,
+		"samples.ndjson.gz":  FormatWaitEvents,
+		"run.trace":          FormatTrace,
+		"export.pinsql.gz":   FormatTrace,
+		"mystery.bin":        FormatAuto,
+		"noextension":        FormatAuto,
+	}
+	for path, want := range cases {
+		if got := guessFormat(path); got != want {
+			t.Errorf("guessFormat(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package ingest
+
+import (
+	"io"
+	"sort"
+	"time"
+)
+
+// ReplayOptions configures the replay clock.
+type ReplayOptions struct {
+	// Speed is the wall-clock pacing factor: 1 replays in real time, 2
+	// twice as fast, 0 (default) as fast as the pipeline drains. Pacing
+	// changes only timing, never content — the batch sequence is
+	// identical at every speed.
+	Speed float64
+
+	// MaxGapSec caps how many consecutive idle trace seconds survive into
+	// the replay timeline; a recording gap longer than this collapses to
+	// exactly MaxGapSec empty seconds (monitoring windows should measure
+	// the workload, not the collector's downtime). Default 5; negative
+	// preserves all gaps.
+	MaxGapSec int
+
+	// SlackSec bounds how far out of order the raw stream may be: a
+	// batch is held until every second that could still precede it has
+	// been seen. Mirrors the log store's 5-second insertion-sort slack
+	// (logstore.Append), which is the same contract the collector's
+	// staging path relies on. Default 5.
+	SlackSec int
+}
+
+func (o ReplayOptions) withDefaults() ReplayOptions {
+	if o.MaxGapSec == 0 {
+		o.MaxGapSec = 5
+	}
+	if o.SlackSec <= 0 {
+		o.SlackSec = 5
+	}
+	return o
+}
+
+// Replay turns a raw adapter stream (sparse batches, absolute trace
+// epoch, locally out of order) into the dense contract the Player needs:
+// consecutive seconds starting at 0, one batch each. It rebases the
+// timeline so the first active trace second becomes second 0 (rewriting
+// record timestamps to match), re-orders within a bounded slack,
+// compresses long recording gaps, and optionally paces emission against
+// the wall clock.
+type Replay struct {
+	src Source
+	opt ReplayOptions
+
+	pend     []Batch // out-of-order holding pen, sorted by trace second
+	maxSeen  int64   // highest trace second pulled so far
+	innerEOF bool
+
+	outQ []Batch // dense, rebased, ready to emit
+
+	started   bool
+	prevTrace int64 // last trace second flushed
+	shiftSec  int64 // trace second − output second
+	outSec    int64 // next output second to emit (== #seconds emitted)
+
+	lastEmit time.Time
+}
+
+// NewReplay wraps a raw source in the replay clock.
+func NewReplay(src Source, opt ReplayOptions) *Replay {
+	return &Replay{src: src, opt: opt.withDefaults()}
+}
+
+// Next implements Source.
+func (r *Replay) Next() (Batch, error) {
+	for len(r.outQ) == 0 {
+		if r.innerEOF {
+			if len(r.pend) == 0 {
+				return Batch{}, io.EOF
+			}
+			r.flushReady()
+			continue
+		}
+		b, err := r.src.Next()
+		if err == io.EOF {
+			r.innerEOF = true
+			r.flushReady()
+			continue
+		}
+		if err != nil {
+			return Batch{}, err
+		}
+		r.hold(b)
+		r.flushReady()
+	}
+	out := r.outQ[0]
+	r.outQ = r.outQ[1:]
+	if r.innerEOF && len(r.pend) == 0 && len(r.outQ) == 0 {
+		out.Last = true
+	}
+	r.pace()
+	return out, nil
+}
+
+// hold inserts a raw batch into the slack pen, merging same-second
+// batches (later arrivals append after earlier ones, preserving the raw
+// stream's within-second order).
+func (r *Replay) hold(b Batch) {
+	if r.started && b.Second <= r.prevTrace {
+		// Older than the slack window: clamp forward to the oldest
+		// second that can still be emitted, so nothing is lost.
+		b.Second = r.prevTrace + 1
+	}
+	if b.Second > r.maxSeen {
+		r.maxSeen = b.Second
+	}
+	i := sort.Search(len(r.pend), func(i int) bool { return r.pend[i].Second >= b.Second })
+	if i < len(r.pend) && r.pend[i].Second == b.Second {
+		r.pend[i].Records = append(r.pend[i].Records, b.Records...)
+		r.pend[i].Metrics = append(r.pend[i].Metrics, b.Metrics...)
+		return
+	}
+	r.pend = append(r.pend, Batch{})
+	copy(r.pend[i+1:], r.pend[i:])
+	r.pend[i] = b
+}
+
+// flushReady moves every pen batch that is out of slack danger — older
+// than maxSeen by more than SlackSec, or everything on inner EOF — into
+// the dense output queue, synthesizing empty seconds for (capped) gaps.
+func (r *Replay) flushReady() {
+	for len(r.pend) > 0 {
+		b := r.pend[0]
+		if !r.innerEOF && b.Second+int64(r.opt.SlackSec) >= r.maxSeen {
+			return
+		}
+		r.pend = r.pend[1:]
+		r.emit(b)
+	}
+}
+
+// emit rebases one trace batch onto the replay timeline, preceded by its
+// gap's empty seconds.
+func (r *Replay) emit(b Batch) {
+	if !r.started {
+		r.started = true
+		r.shiftSec = b.Second
+		r.prevTrace = b.Second - 1
+	}
+	gap := b.Second - r.prevTrace - 1 // idle trace seconds skipped over
+	keep := gap
+	if r.opt.MaxGapSec >= 0 && keep > int64(r.opt.MaxGapSec) {
+		keep = int64(r.opt.MaxGapSec)
+	}
+	r.shiftSec += gap - keep
+	for i := int64(0); i < keep; i++ {
+		r.outQ = append(r.outQ, Batch{Second: r.outSec})
+		r.outSec++
+	}
+	shiftMs := r.shiftSec * 1000
+	for i := range b.Records {
+		b.Records[i].ArrivalMs -= shiftMs
+	}
+	for i := range b.Metrics {
+		b.Metrics[i].Second = r.outSec
+	}
+	r.prevTrace = b.Second
+	b.Second = r.outSec
+	r.outSec++
+	r.outQ = append(r.outQ, b)
+}
+
+// pace sleeps so emission tracks the wall clock at the configured speed.
+func (r *Replay) pace() {
+	if r.opt.Speed <= 0 {
+		return
+	}
+	interval := time.Duration(float64(time.Second) / r.opt.Speed)
+	now := time.Now()
+	if !r.lastEmit.IsZero() {
+		if wait := interval - now.Sub(r.lastEmit); wait > 0 {
+			time.Sleep(wait)
+			now = now.Add(wait)
+		}
+	}
+	r.lastEmit = now
+}
+
+// Bounds implements Source: the replay timeline's extent so far — exact
+// once the inner source is drained, growing before that.
+func (r *Replay) Bounds() (int64, int64) {
+	// outSec counts every second already placed on the output queue;
+	// pen batches extend the timeline by at least their own count.
+	to := r.outSec + int64(len(r.pend))
+	return 0, to * 1000
+}
+
+// Stats implements Counting by delegation.
+func (r *Replay) Stats() Stats {
+	if c, ok := r.src.(Counting); ok {
+		return c.Stats()
+	}
+	return Stats{}
+}
+
+// Close implements Source.
+func (r *Replay) Close() error { return r.src.Close() }

@@ -1,0 +1,115 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+
+	"pinsql/internal/dbsim"
+	"pinsql/internal/workload"
+)
+
+// SimSource adapts the workload simulator to the Source seam: the trace of
+// a dbsim.Instance run window by window against its workload world. It
+// simulates lazily — window w runs when its first batch is pulled, which
+// under the fleet's lockstep scheduling is strictly after window w-1's
+// repairs were applied — and reproduces the pre-seam fleet inner loop
+// exactly: per-window sampling reseed (WindowSeed), per-window arrival
+// stream (seed+w), records in completion order.
+//
+// The caller keeps ownership of the world and simulator; incident
+// injection and repair execution mutate them between windows exactly as
+// before the seam existed.
+type SimSource struct {
+	world    *workload.World
+	sim      *dbsim.Instance
+	seed     int64
+	windows  int
+	windowMs int64
+
+	next int // next window to simulate
+	buf  []Batch
+	pos  int
+}
+
+// NewSimSource wraps a world/simulator pair as a trace of `windows`
+// monitoring windows of windowSec seconds each.
+func NewSimSource(world *workload.World, sim *dbsim.Instance, seed int64, windows, windowSec int) *SimSource {
+	return &SimSource{
+		world:    world,
+		sim:      sim,
+		seed:     seed,
+		windows:  windows,
+		windowMs: int64(windowSec) * 1000,
+	}
+}
+
+// Next implements Source: batches of the current window's buffer, then
+// lazily simulate the next window, then io.EOF.
+func (s *SimSource) Next() (Batch, error) {
+	for s.pos >= len(s.buf) {
+		if s.next >= s.windows {
+			return Batch{}, io.EOF
+		}
+		if err := s.simulate(); err != nil {
+			return Batch{}, err
+		}
+	}
+	b := s.buf[s.pos]
+	s.pos++
+	b.Last = s.pos == len(s.buf) && s.next >= s.windows
+	return b, nil
+}
+
+// simulate runs one window and chops its output into dense batches.
+func (s *SimSource) simulate() error {
+	w := s.next
+	fromMs := int64(w) * s.windowMs
+	toMs := fromMs + s.windowMs
+
+	// Reseed the metric-sampling RNG per window so a crash-resumed run
+	// replays this window bit-identically regardless of prior history.
+	s.sim.ReseedSampling(WindowSeed(s.seed, w))
+	var recs []dbsim.LogRecord
+	secs, err := s.sim.Run(dbsim.RunOptions{
+		StartMs: fromMs,
+		EndMs:   toMs,
+		Source:  s.world.Source(fromMs, toMs, s.seed+int64(w)),
+		Sink:    func(r dbsim.LogRecord) { recs = append(recs, r) },
+	})
+	if err != nil {
+		return err
+	}
+	// The engine's rows are dense and 0-based per run; rebase to absolute
+	// trace seconds (the Player rebases back to window-relative, so the
+	// rows the collector sees are bit-identical to the pre-seam path).
+	fromSec := fromMs / 1000
+	rows := make([]dbsim.SecondMetrics, len(secs))
+	copy(rows, secs)
+	for i := range rows {
+		rows[i].Second = fromSec + int64(i)
+	}
+	s.buf = chop(fromMs, toMs, recs, rows)
+	s.pos = 0
+	s.next = w + 1
+	return nil
+}
+
+// Bounds implements Source; simulator bounds are exact.
+func (s *SimSource) Bounds() (int64, int64) { return 0, int64(s.windows) * s.windowMs }
+
+// SeekMs implements Seeker: jump to a window boundary without simulating
+// the skipped prefix. Each window depends only on (world state, seed) —
+// never on having simulated its predecessors — which is the same property
+// pre-seam crash recovery relied on when it resumed at st.nextSim.
+func (s *SimSource) SeekMs(ms int64) error {
+	if ms%s.windowMs != 0 {
+		return fmt.Errorf("ingest: SimSource seek to %dms is not a window boundary (window %dms)", ms, s.windowMs)
+	}
+	s.next = int(ms / s.windowMs)
+	s.buf = nil
+	s.pos = 0
+	return nil
+}
+
+// Close implements Source. The world and simulator outlive the source.
+func (s *SimSource) Close() error { return nil }

@@ -1,0 +1,374 @@
+package ingest
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+	"unicode/utf8"
+
+	"pinsql/internal/dbsim"
+)
+
+// SlowLogSource streams a MySQL slow query log into the Source seam. It
+// is a raw adapter: batches come out keyed by each statement's emission
+// second (the instant the server wrote the entry), grouped only when
+// consecutive entries share a second — sparse, unrebased, and possibly
+// locally out of order. Wrap it in Replay to get the dense contract the
+// Player needs; Open does exactly that.
+//
+// Entry grammar handled (one scanner pass, bounded memory):
+//
+//	# Time: 2023-05-12T03:14:15.123456Z        (RFC 3339, any zone, or
+//	# Time: 230512  3:14:15                     the legacy compact form)
+//	# User@Host: app[app] @ host [10.0.0.3]
+//	# Query_time: 1.234567  Lock_time: 0.000123 Rows_sent: 10 Rows_examined: 40000
+//	use orders;
+//	SET timestamp=1683861255;
+//	SELECT ... multi-line ... ;
+//
+// `SET timestamp=` carries the statement's start time and wins over
+// `# Time:`; without it the start is the header time minus Query_time
+// (the header stamps the entry write, i.e. completion). Malformed input —
+// torn entries, an interleaved header cutting a statement short, bad
+// numbers or timestamps, a truncated tail — is counted in
+// Stats.ParseErrors and skipped; the parser never stops early and never
+// emits invalid UTF-8 (offending bytes become U+FFFD).
+//
+// Records leave with TemplateID == "": template identity is assigned
+// downstream by the collector registry's raw-SQL intern path, the same
+// sqltemplate normalization every other input takes.
+type SlowLogSource struct {
+	sc  *bufio.Scanner
+	err error
+
+	// current header group
+	hdrTimeMs   int64 // from "# Time:", ms since epoch; 0 = none
+	setTsMs     int64 // from "SET timestamp=", ms since epoch; 0 = none
+	queryTimeMs float64
+	lockTimeMs  float64
+	rowsExam    int64
+	hdrSeen     bool // a "# Query_time:" header opened an entry
+	sqlBuf      []string
+
+	pending []dbsim.LogRecord // completed records not yet batched
+	eof     bool
+
+	stats   Stats
+	fromMs  int64 // best-effort bounds: first/last emission seen
+	toMs    int64
+	lastSec int64 // second of the batch currently being grouped
+}
+
+// SlowLog creates a streaming parser over r (plain text; Open handles
+// gzip). The returned source is sparse — wrap in Replay before playing.
+func SlowLog(r io.Reader) *SlowLogSource {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes) // multi-megabyte statements
+	return &SlowLogSource{sc: sc}
+}
+
+// Next implements Source: the next emission second's records. Batches are
+// grouped per consecutive second of the input, not densified.
+func (s *SlowLogSource) Next() (Batch, error) {
+	for {
+		// A batch is ready once a record lands in a later second than the
+		// ones already pending (slow logs are written at completion, so
+		// the stream is near-sorted; Replay absorbs the exceptions).
+		if n := len(s.pending); n > 0 {
+			first := EmissionMs(s.pending[0]) / 1000
+			cut := n
+			for i := 1; i < n; i++ {
+				if EmissionMs(s.pending[i])/1000 != first {
+					cut = i
+					break
+				}
+			}
+			if cut < n || s.eof {
+				b := Batch{Second: first, Records: s.pending[:cut:cut]}
+				s.pending = s.pending[cut:]
+				b.Last = s.eof && len(s.pending) == 0
+				return b, nil
+			}
+		} else if s.eof {
+			if s.err != nil {
+				return Batch{}, s.err
+			}
+			return Batch{}, io.EOF
+		}
+		s.scanMore()
+	}
+}
+
+// scanMore consumes input lines until a record completes or input ends.
+func (s *SlowLogSource) scanMore() {
+	for s.sc.Scan() {
+		line := strings.ToValidUTF8(s.sc.Text(), "�")
+		if s.consumeLine(line) {
+			return
+		}
+	}
+	// EOF (or a read error): a half-built entry is a torn tail.
+	if err := s.sc.Err(); err != nil {
+		s.err = err
+	}
+	if s.hdrSeen || len(s.sqlBuf) > 0 {
+		s.stats.ParseErrors++
+		s.resetEntry()
+	}
+	s.eof = true
+}
+
+// consumeLine feeds one line into the entry state machine; it reports
+// whether a record was completed.
+func (s *SlowLogSource) consumeLine(line string) bool {
+	trimmed := strings.TrimSpace(line)
+	switch {
+	case strings.HasPrefix(trimmed, "# Time:"):
+		if s.hdrSeen || len(s.sqlBuf) > 0 {
+			// A new entry interrupted an unterminated statement.
+			s.stats.ParseErrors++
+			s.resetEntry()
+		}
+		ts, err := parseSlowLogTime(strings.TrimSpace(trimmed[len("# Time:"):]))
+		if err != nil {
+			s.stats.ParseErrors++
+			s.hdrTimeMs = 0
+			return false
+		}
+		s.hdrTimeMs = ts
+	case strings.HasPrefix(trimmed, "# Query_time:"):
+		if s.hdrSeen || len(s.sqlBuf) > 0 {
+			s.stats.ParseErrors++
+			s.resetEntry()
+		}
+		if !s.parseQueryTimeHeader(trimmed) {
+			s.stats.ParseErrors++
+			return false
+		}
+		s.hdrSeen = true
+	case strings.HasPrefix(trimmed, "#"):
+		// User@Host and friends: metadata we don't need.
+	case trimmed == "":
+	case isUseLine(trimmed):
+		// Schema switch; the statement text itself is what we normalize.
+	case isSetTimestamp(trimmed):
+		ts, ok := parseSetTimestamp(trimmed)
+		if !ok {
+			s.stats.ParseErrors++
+			return false
+		}
+		s.setTsMs = ts
+	case isServerBanner(trimmed, len(s.sqlBuf) > 0):
+		// Restart banners interleave mid-file; they cut a pending
+		// statement short.
+		if s.hdrSeen || len(s.sqlBuf) > 0 {
+			s.stats.ParseErrors++
+			s.resetEntry()
+		}
+	default:
+		s.sqlBuf = append(s.sqlBuf, line)
+		if strings.HasSuffix(trimmed, ";") {
+			return s.finishEntry()
+		}
+	}
+	return false
+}
+
+// finishEntry turns the accumulated entry into a LogRecord; it reports
+// whether one was emitted.
+func (s *SlowLogSource) finishEntry() bool {
+	sql := strings.TrimSpace(strings.Join(s.sqlBuf, "\n"))
+	sql = strings.TrimSuffix(sql, ";")
+	ok := s.hdrSeen && sql != "" && (s.setTsMs > 0 || s.hdrTimeMs > 0)
+	if !ok {
+		// Statement without a Query_time header (or headers without a
+		// usable clock): not a slow-log entry we can place in time.
+		s.stats.ParseErrors++
+		s.resetEntry()
+		return false
+	}
+	var arrivalMs int64
+	if s.setTsMs > 0 {
+		arrivalMs = s.setTsMs
+	} else {
+		arrivalMs = s.hdrTimeMs - int64(s.queryTimeMs)
+	}
+	rec := dbsim.LogRecord{
+		SQL:          sql,
+		Table:        guessTable(sql),
+		Kind:         guessKind(sql),
+		ArrivalMs:    arrivalMs,
+		ResponseMs:   s.queryTimeMs,
+		ExaminedRows: s.rowsExam,
+		LockWaitMs:   s.lockTimeMs,
+	}
+	s.stats.Records++
+	em := EmissionMs(rec)
+	if s.fromMs == 0 || rec.ArrivalMs < s.fromMs {
+		s.fromMs = rec.ArrivalMs
+	}
+	if em >= s.toMs {
+		s.toMs = em + 1
+	}
+	s.pending = append(s.pending, rec)
+	s.resetEntry()
+	return true
+}
+
+func (s *SlowLogSource) resetEntry() {
+	s.hdrSeen = false
+	s.queryTimeMs, s.lockTimeMs, s.rowsExam = 0, 0, 0
+	s.setTsMs = 0
+	s.sqlBuf = s.sqlBuf[:0]
+}
+
+// parseQueryTimeHeader pulls the numeric fields out of a
+// "# Query_time: ... Lock_time: ... Rows_examined: ..." line.
+func (s *SlowLogSource) parseQueryTimeHeader(line string) bool {
+	fields := strings.Fields(line[1:]) // drop "#"
+	var qt, lt float64
+	var rows int64
+	seenQT := false
+	for i := 0; i+1 < len(fields); i++ {
+		switch fields[i] {
+		case "Query_time:":
+			v, err := strconv.ParseFloat(fields[i+1], 64)
+			if err != nil || v < 0 || v != v { // reject NaN and negatives
+				return false
+			}
+			qt, seenQT = v, true
+		case "Lock_time:":
+			if v, err := strconv.ParseFloat(fields[i+1], 64); err == nil && v >= 0 && v == v {
+				lt = v
+			}
+		case "Rows_examined:":
+			if v, err := strconv.ParseInt(fields[i+1], 10, 64); err == nil && v >= 0 {
+				rows = v
+			}
+		}
+	}
+	if !seenQT {
+		return false
+	}
+	s.queryTimeMs = qt * 1000
+	s.lockTimeMs = lt * 1000
+	s.rowsExam = rows
+	return true
+}
+
+// Bounds implements Source: best effort, the extent parsed so far.
+func (s *SlowLogSource) Bounds() (int64, int64) { return s.fromMs, s.toMs }
+
+// Stats implements Counting.
+func (s *SlowLogSource) Stats() Stats { return s.stats }
+
+// Close implements Source. The reader is owned by the caller (Open wraps
+// sources with the file's closer).
+func (s *SlowLogSource) Close() error { return nil }
+
+// parseSlowLogTime parses the "# Time:" payload: RFC 3339 with any zone
+// offset (MySQL ≥ 5.7 writes UTC or system time with offset), or the
+// legacy compact "yymmdd h:mm:ss" form (naive, taken as UTC).
+func parseSlowLogTime(v string) (int64, error) {
+	if t, err := time.Parse(time.RFC3339Nano, v); err == nil {
+		return t.UnixMilli(), nil
+	}
+	t, err := time.Parse("060102 15:04:05", strings.Join(strings.Fields(v), " "))
+	if err != nil {
+		return 0, err
+	}
+	return t.UTC().UnixMilli(), nil
+}
+
+func isUseLine(trimmed string) bool {
+	low := strings.ToLower(trimmed)
+	return strings.HasPrefix(low, "use ") && strings.HasSuffix(low, ";") && !strings.ContainsAny(low, "()=")
+}
+
+func isSetTimestamp(trimmed string) bool {
+	low := strings.ToLower(trimmed)
+	return strings.HasPrefix(low, "set timestamp=")
+}
+
+func parseSetTimestamp(trimmed string) (int64, bool) {
+	v := trimmed[len("SET timestamp="):]
+	v = strings.TrimSuffix(strings.TrimSpace(v), ";")
+	// Fractional epochs appear with log_timestamps=SYSTEM on 8.0.
+	sec, err := strconv.ParseFloat(v, 64)
+	if err != nil || sec <= 0 || sec != sec {
+		return 0, false
+	}
+	return int64(sec * 1000), true
+}
+
+// isServerBanner spots mysqld restart banners, which interleave with
+// entries. inSQL guards against eating a statement line that merely
+// mentions these words.
+func isServerBanner(trimmed string, inSQL bool) bool {
+	if inSQL {
+		return false
+	}
+	return strings.Contains(trimmed, ", Version: ") ||
+		strings.HasPrefix(trimmed, "Tcp port:") ||
+		strings.HasPrefix(trimmed, "Time ") && strings.Contains(trimmed, "Id Command")
+}
+
+// guessKind classifies a statement by its leading verb.
+func guessKind(sql string) dbsim.QueryKind {
+	switch strings.ToUpper(firstWord(sql)) {
+	case "SELECT", "SHOW", "WITH":
+		return dbsim.KindSelect
+	case "INSERT", "REPLACE":
+		return dbsim.KindInsert
+	case "UPDATE":
+		return dbsim.KindUpdate
+	case "DELETE":
+		return dbsim.KindDelete
+	case "ALTER", "CREATE", "DROP", "TRUNCATE", "RENAME", "OPTIMIZE":
+		return dbsim.KindDDL
+	}
+	return dbsim.KindSelect
+}
+
+// guessTable extracts the first table name after FROM/INTO/UPDATE/JOIN —
+// best effort, for report grouping only.
+func guessTable(sql string) string {
+	fields := strings.Fields(sql)
+	for i, f := range fields {
+		switch strings.ToUpper(strings.Trim(f, "(")) {
+		case "FROM", "INTO", "JOIN", "TABLE":
+			if i+1 < len(fields) {
+				return cleanTableName(fields[i+1])
+			}
+		case "UPDATE":
+			if i == 0 && len(fields) > 1 {
+				return cleanTableName(fields[1])
+			}
+		}
+	}
+	return ""
+}
+
+func cleanTableName(tok string) string {
+	tok = strings.Trim(tok, "`\"'(),;")
+	if i := strings.LastIndexByte(tok, '.'); i >= 0 {
+		tok = tok[i+1:]
+	}
+	tok = strings.Trim(tok, "`\"'")
+	if !utf8.ValidString(tok) || len(tok) > 64 {
+		return ""
+	}
+	return tok
+}
+
+func firstWord(s string) string {
+	s = strings.TrimSpace(s)
+	for i, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '(' {
+			return s[:i]
+		}
+	}
+	return s
+}

@@ -1,0 +1,131 @@
+package ingest
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"pinsql/internal/sqltemplate"
+)
+
+var updateGoldens = flag.Bool("update-goldens", false, "rewrite testdata goldens from current output")
+
+// slowEntry is one parsed record as serialized into the golden file:
+// the normalized template stands in for raw SQL so the golden pins the
+// whole normalization path, not just the parser.
+type slowEntry struct {
+	Template    string  `json:"template"`
+	Table       string  `json:"table"`
+	Kind        int     `json:"kind"`
+	ArrivalMs   int64   `json:"arrival_ms"`
+	ResponseMs  float64 `json:"response_ms"`
+	LockWaitMs  float64 `json:"lock_wait_ms,omitempty"`
+	Examined    int64   `json:"rows_examined,omitempty"`
+	EmissionSec int64   `json:"emission_sec"`
+}
+
+type slowGolden struct {
+	Records     int64       `json:"records"`
+	ParseErrors int64       `json:"parse_errors"`
+	FromMs      int64       `json:"from_ms"`
+	ToMs        int64       `json:"to_ms"`
+	Entries     []slowEntry `json:"entries"`
+}
+
+func TestSlowLogGolden(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "slowlog_fixture.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	src := SlowLog(f)
+
+	var got slowGolden
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range b.Records {
+			if r.TemplateID != "" {
+				t.Fatalf("record %q left with TemplateID %q, want empty (registry interns)", r.SQL, r.TemplateID)
+			}
+			if !utf8.ValidString(r.SQL) {
+				t.Fatalf("invalid UTF-8 in SQL %q", r.SQL)
+			}
+			got.Entries = append(got.Entries, slowEntry{
+				Template:    sqltemplate.Normalize(r.SQL),
+				Table:       r.Table,
+				Kind:        int(r.Kind),
+				ArrivalMs:   r.ArrivalMs,
+				ResponseMs:  r.ResponseMs,
+				LockWaitMs:  r.LockWaitMs,
+				Examined:    r.ExaminedRows,
+				EmissionSec: b.Second,
+			})
+		}
+	}
+	st := src.Stats()
+	got.Records, got.ParseErrors = st.Records, st.ParseErrors
+	got.FromMs, got.ToMs = src.Bounds()
+
+	// Structural checks independent of the golden: the fixture ends in a
+	// truncated tail and contains an interleaved header and a bad
+	// Query_time line, all of which must be counted, not fatal.
+	if st.ParseErrors < 3 {
+		t.Errorf("ParseErrors = %d, want >= 3 (torn tail, interleaved header, bad Query_time)", st.ParseErrors)
+	}
+	if int64(len(got.Entries)) != st.Records {
+		t.Errorf("drained %d records, stats say %d", len(got.Entries), st.Records)
+	}
+	if st.Records < 40 {
+		t.Errorf("Records = %d, want >= 40", st.Records)
+	}
+
+	compareGolden(t, filepath.Join("testdata", "slowlog_fixture.golden.json"), got)
+}
+
+// compareGolden marshals got and diffs it against (or rewrites) the
+// golden file.
+func compareGolden(t *testing.T, path string, got any) {
+	t.Helper()
+	raw, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append(raw, '\n')
+	if *updateGoldens {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-goldens to create)", err)
+	}
+	if string(want) != string(raw) {
+		t.Fatalf("output differs from %s (run with -update-goldens after intentional changes)\nfirst diff near: %s",
+			path, firstDiff(string(want), string(raw)))
+	}
+}
+
+func firstDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return fmt.Sprintf("line %d: want %s got %s", i+1, la[i], lb[i])
+		}
+	}
+	return fmt.Sprintf("length: want %d lines, got %d", len(la), len(lb))
+}

@@ -1,0 +1,155 @@
+package ingest
+
+import (
+	"io"
+
+	"pinsql/internal/dbsim"
+)
+
+// SessionSynth derives per-second instance metrics from the query stream
+// itself, for traces that carry no sampler output (a MySQL slow log is
+// just statements). The active-session series — the detector's headline
+// metric (Definition II.4) — is reconstructed the ASH way: a statement
+// occupies one session over [arrival, completion), so the session count
+// at an instant is the number of overlapping statement spans.
+//
+// Because the stream is emission-ordered, a span covering second s is
+// only known once its statement completes — possibly much later. The
+// synthesizer therefore holds a bounded lookahead of Lookahead seconds
+// before releasing a batch; statements longer than the lookahead are
+// counted only over their last Lookahead seconds (an explicit
+// under-count, preferred over unbounded buffering).
+//
+// The input must already be dense (wrap raw adapters in Replay first).
+// Batches that carry sampler metrics pass through untouched — synthesis
+// only fills silence.
+type SessionSynth struct {
+	src       Source
+	lookahead int64
+
+	buf      []Batch
+	innerEOF bool
+	innerErr error
+	spans    []span
+}
+
+// span is one statement's session occupancy.
+type span struct {
+	arrMs, emMs int64
+	lockWait    bool
+}
+
+// SynthOptions configures SessionSynth.
+type SynthOptions struct {
+	// LookaheadSec bounds how far past a second the synthesizer reads
+	// before computing that second's session count. Default 300.
+	LookaheadSec int
+}
+
+// NewSessionSynth wraps a dense source.
+func NewSessionSynth(src Source, opt SynthOptions) *SessionSynth {
+	if opt.LookaheadSec <= 0 {
+		opt.LookaheadSec = 300
+	}
+	return &SessionSynth{src: src, lookahead: int64(opt.LookaheadSec)}
+}
+
+// Next implements Source.
+func (s *SessionSynth) Next() (Batch, error) {
+	for !s.innerEOF && (len(s.buf) == 0 || s.buf[len(s.buf)-1].Second-s.buf[0].Second < s.lookahead) {
+		b, err := s.src.Next()
+		if err == io.EOF {
+			s.innerEOF = true
+			break
+		}
+		if err != nil {
+			s.innerErr = err
+			s.innerEOF = true
+			break
+		}
+		for _, r := range b.Records {
+			s.spans = append(s.spans, span{arrMs: r.ArrivalMs, emMs: EmissionMs(r), lockWait: r.LockWaitMs > 0})
+		}
+		s.buf = append(s.buf, b)
+	}
+	if len(s.buf) == 0 {
+		if s.innerErr != nil {
+			err := s.innerErr
+			s.innerErr = nil
+			return Batch{}, err
+		}
+		return Batch{}, io.EOF
+	}
+	b := s.buf[0]
+	s.buf = s.buf[1:]
+	if len(b.Metrics) == 0 {
+		b.Metrics = []dbsim.SecondMetrics{s.synthesize(b.Second)}
+	}
+	s.prune(b.Second)
+	return b, nil
+}
+
+// synthesize computes second sec's metric row from the known spans.
+func (s *SessionSynth) synthesize(sec int64) dbsim.SecondMetrics {
+	t0 := sec * 1000
+	t1 := t0 + 1000
+	mid := t0 + 500
+	row := dbsim.SecondMetrics{Second: sec}
+	var avg float64
+	for _, sp := range s.spans {
+		if sp.arrMs <= mid && mid < sp.emMs {
+			row.ActiveSession++
+		}
+		if lo, hi := max64(sp.arrMs, t0), min64(sp.emMs, t1); hi > lo {
+			avg += float64(hi-lo) / 1000
+		}
+		if sp.arrMs >= t0 && sp.arrMs < t1 {
+			row.QPS++
+			if sp.lockWait {
+				row.RowLockWaits++
+			}
+		}
+	}
+	row.AvgActiveSession = avg
+	return row
+}
+
+// prune drops spans that cannot overlap any second after sec.
+func (s *SessionSynth) prune(sec int64) {
+	cut := (sec + 1) * 1000
+	kept := s.spans[:0]
+	for _, sp := range s.spans {
+		if sp.emMs > cut {
+			kept = append(kept, sp)
+		}
+	}
+	s.spans = kept
+}
+
+// Bounds implements Source by delegation.
+func (s *SessionSynth) Bounds() (int64, int64) { return s.src.Bounds() }
+
+// Stats implements Counting by delegation.
+func (s *SessionSynth) Stats() Stats {
+	if c, ok := s.src.(Counting); ok {
+		return c.Stats()
+	}
+	return Stats{}
+}
+
+// Close implements Source.
+func (s *SessionSynth) Close() error { return s.src.Close() }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,105 @@
+package ingest
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"pinsql/internal/dbsim"
+)
+
+func TestSessionSynthActiveSessions(t *testing.T) {
+	// Three statements: one covering seconds 0..3, two short ones inside
+	// second 1. Dense input via SliceSource.
+	recs := []dbsim.LogRecord{
+		{SQL: "UPDATE t SET x = 1", ArrivalMs: 200, ResponseMs: 3400, LockWaitMs: 50}, // [200, 3600)
+		{SQL: "SELECT 1", ArrivalMs: 1100, ResponseMs: 300},                           // [1100, 1400)
+		{SQL: "SELECT 2", ArrivalMs: 1600, ResponseMs: 200},                           // [1600, 1800)
+	}
+	src := NewSessionSynth(NewSliceSource(0, 4000, recs, nil), SynthOptions{})
+	var rows []dbsim.SecondMetrics
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(b.Metrics) != 1 {
+			t.Fatalf("second %d: %d metric rows, want 1 synthesized", b.Second, len(b.Metrics))
+		}
+		rows = append(rows, b.Metrics[0])
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+
+	// Mid-second instants: 500 (update only), 1500 (update; SELECT 1
+	// ended at 1400, SELECT 2 starts at 1600), 2500, 3500.
+	wantActive := []float64{1, 1, 1, 1}
+	// QPS keyed by arrival second.
+	wantQPS := []int{1, 2, 0, 0}
+	for i, r := range rows {
+		if r.ActiveSession != wantActive[i] {
+			t.Errorf("second %d: ActiveSession = %v, want %v", i, r.ActiveSession, wantActive[i])
+		}
+		if r.QPS != wantQPS[i] {
+			t.Errorf("second %d: QPS = %d, want %d", i, r.QPS, wantQPS[i])
+		}
+	}
+	// Fractional occupancy: second 1 holds 1.0 (update) + 0.3 + 0.2.
+	if got := rows[1].AvgActiveSession; math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("second 1 AvgActiveSession = %v, want 1.5", got)
+	}
+	if rows[0].RowLockWaits != 1 {
+		t.Errorf("second 0 RowLockWaits = %d, want 1 (lock-waiting arrival)", rows[0].RowLockWaits)
+	}
+}
+
+func TestSessionSynthLeavesSamplerRowsAlone(t *testing.T) {
+	rows := []dbsim.SecondMetrics{{Second: 0, ActiveSession: 42}}
+	src := NewSessionSynth(NewSliceSource(0, 2000, nil, rows), SynthOptions{})
+	b0, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b0.Metrics) != 1 || b0.Metrics[0].ActiveSession != 42 {
+		t.Fatalf("sampler row was rewritten: %+v", b0.Metrics)
+	}
+	b1, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1.Metrics) != 1 || b1.Metrics[0].ActiveSession != 0 {
+		t.Fatalf("silent second not synthesized: %+v", b1.Metrics)
+	}
+}
+
+func TestSessionSynthLookaheadSeesLongStatement(t *testing.T) {
+	// A statement finishing (and therefore appearing) at second 8 must
+	// still count toward second 1 when the lookahead covers it.
+	recs := []dbsim.LogRecord{
+		{SQL: "SELECT SLEEP(7)", ArrivalMs: 1200, ResponseMs: 7000}, // [1200, 8200)
+	}
+	src := NewSessionSynth(NewSliceSource(0, 10000, recs, nil), SynthOptions{LookaheadSec: 20})
+	var rows []dbsim.SecondMetrics
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, b.Metrics...)
+	}
+	for sec := 2; sec <= 7; sec++ {
+		if rows[sec].ActiveSession != 1 {
+			t.Errorf("second %d: ActiveSession = %v, want 1 (long statement spans it)", sec, rows[sec].ActiveSession)
+		}
+	}
+	if rows[9].ActiveSession != 0 {
+		t.Errorf("second 9: ActiveSession = %v, want 0", rows[9].ActiveSession)
+	}
+}

@@ -1,0 +1,233 @@
+package ingest
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pinsql/internal/dbsim"
+)
+
+// The pinsql trace format is the system's canonical interchange encoding:
+// a gzip-compressed JSONL stream. The first line is a header object
+//
+//	{"format":"pinsql-trace","version":1,"from_ms":...,"to_ms":...}
+//
+// followed by one object per event, in emission order:
+//
+//	{"t":"r","rec":{...dbsim.LogRecord...}}   — one query-log record
+//	{"t":"m","met":{...dbsim.SecondMetrics...}} — one per-second metric row
+//
+// Timestamps are absolute trace milliseconds; metric rows carry absolute
+// seconds. The header bounds define the dense timeline, so a reader can
+// reproduce empty seconds exactly — a written trace round-trips to the
+// identical batch sequence without a replay clock.
+
+const (
+	traceFormat  = "pinsql-trace"
+	traceVersion = 1
+)
+
+type traceHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	FromMs  int64  `json:"from_ms"`
+	ToMs    int64  `json:"to_ms"`
+}
+
+type traceLine struct {
+	T   string               `json:"t"`
+	Rec *dbsim.LogRecord     `json:"rec,omitempty"`
+	Met *dbsim.SecondMetrics `json:"met,omitempty"`
+}
+
+// WriteTrace drains src and writes it as a gzip trace covering
+// [fromMs, toMs). The source's batches are encoded in order, records
+// before metric rows within each second.
+func WriteTrace(w io.Writer, fromMs, toMs int64, src Source) error {
+	zw := gzip.NewWriter(w)
+	enc := json.NewEncoder(zw)
+	if err := enc.Encode(traceHeader{Format: traceFormat, Version: traceVersion, FromMs: fromMs, ToMs: toMs}); err != nil {
+		return err
+	}
+	for {
+		b, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for i := range b.Records {
+			if err := enc.Encode(traceLine{T: "r", Rec: &b.Records[i]}); err != nil {
+				return err
+			}
+		}
+		for i := range b.Metrics {
+			if err := enc.Encode(traceLine{T: "m", Met: &b.Metrics[i]}); err != nil {
+				return err
+			}
+		}
+		if b.Last {
+			break
+		}
+	}
+	return zw.Close()
+}
+
+// WriteTraceData writes a record/metric slice pair as a trace over
+// [fromMs, toMs), chopping them into dense per-second batches first.
+func WriteTraceData(w io.Writer, fromMs, toMs int64, recs []dbsim.LogRecord, rows []dbsim.SecondMetrics) error {
+	return WriteTrace(w, fromMs, toMs, NewSliceSource(fromMs, toMs, recs, rows))
+}
+
+// TraceSource streams a pinsql trace back as dense batches over the
+// header's bounds. Event lines are expected in emission order (the writer
+// guarantees it); stragglers older than the current second are clamped
+// into it, mirroring the chop contract. Malformed lines are counted and
+// skipped.
+type TraceSource struct {
+	r       *bufio.Scanner
+	hdr     traceHeader
+	cur     int64 // next dense second to emit (absolute)
+	pending *Batch
+	eof     bool
+	stats   Stats
+}
+
+// OpenTrace reads the trace header from r (gzip-compressed or plain) and
+// returns a dense source over the trace's bounds. The caller keeps
+// ownership of r; Close does not close it.
+func OpenTrace(r io.Reader) (*TraceSource, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: open trace: %w", err)
+		}
+		return newTraceSource(zr)
+	}
+	return newTraceSource(br)
+}
+
+func newTraceSource(r io.Reader) (*TraceSource, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLineBytes)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("ingest: trace header: %w", err)
+		}
+		return nil, fmt.Errorf("ingest: trace header: empty input")
+	}
+	var hdr traceHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("ingest: trace header: %w", err)
+	}
+	if hdr.Format != traceFormat {
+		return nil, fmt.Errorf("ingest: trace header: format %q, want %q", hdr.Format, traceFormat)
+	}
+	if hdr.Version != traceVersion {
+		return nil, fmt.Errorf("ingest: trace header: version %d, want %d", hdr.Version, traceVersion)
+	}
+	if hdr.ToMs < hdr.FromMs {
+		return nil, fmt.Errorf("ingest: trace header: to_ms %d < from_ms %d", hdr.ToMs, hdr.FromMs)
+	}
+	return &TraceSource{r: sc, hdr: hdr, cur: hdr.FromMs / 1000}, nil
+}
+
+// Next implements Source.
+func (t *TraceSource) Next() (Batch, error) {
+	toSec := (t.hdr.ToMs + 999) / 1000
+	if t.cur >= toSec {
+		return Batch{}, io.EOF
+	}
+	b := Batch{Second: t.cur}
+	lastSec := toSec - 1
+	for !t.eof {
+		line, ok := t.scanLine()
+		if !ok {
+			break
+		}
+		sec, rec, met := t.place(line)
+		if rec == nil && met == nil {
+			continue // malformed, counted
+		}
+		if sec > t.cur && t.cur < lastSec {
+			// Belongs to a later second: hold it and emit this batch.
+			t.pending = &Batch{Second: sec}
+			t.pendingAdd(rec, met)
+			t.cur++
+			return b, nil
+		}
+		// Current second, a straggler clamped into it, or overflow past
+		// the final second (clamped into it, like chop).
+		if rec != nil {
+			t.stats.Records++
+			b.Records = append(b.Records, *rec)
+		}
+		if met != nil {
+			b.Metrics = append(b.Metrics, *met)
+		}
+	}
+	t.cur++
+	b.Last = t.eof && t.pending == nil && t.cur >= toSec
+	return b, nil
+}
+
+// scanLine yields the next event line: a held batch's contents first, then
+// the scanner. Returns ok == false when the stream is exhausted.
+func (t *TraceSource) scanLine() (traceLine, bool) {
+	if p := t.pending; p != nil {
+		t.pending = nil
+		if len(p.Records) > 0 {
+			return traceLine{T: "r", Rec: &p.Records[0]}, true
+		}
+		return traceLine{T: "m", Met: &p.Metrics[0]}, true
+	}
+	for t.r.Scan() {
+		var line traceLine
+		if err := json.Unmarshal(t.r.Bytes(), &line); err != nil {
+			t.stats.ParseErrors++
+			continue
+		}
+		return line, true
+	}
+	t.eof = true
+	return traceLine{}, false
+}
+
+// place decodes a line into its event and emission second. Unknown or
+// incomplete lines count as parse errors.
+func (t *TraceSource) place(line traceLine) (int64, *dbsim.LogRecord, *dbsim.SecondMetrics) {
+	switch {
+	case line.T == "r" && line.Rec != nil:
+		return EmissionMs(*line.Rec) / 1000, line.Rec, nil
+	case line.T == "m" && line.Met != nil:
+		return line.Met.Second, nil, line.Met
+	default:
+		t.stats.ParseErrors++
+		return 0, nil, nil
+	}
+}
+
+// pendingAdd holds one event for a later second. Record counting happens
+// when the event lands in an emitted batch, not here.
+func (t *TraceSource) pendingAdd(rec *dbsim.LogRecord, met *dbsim.SecondMetrics) {
+	if rec != nil {
+		t.pending.Records = append(t.pending.Records, *rec)
+	}
+	if met != nil {
+		t.pending.Metrics = append(t.pending.Metrics, *met)
+	}
+}
+
+// Bounds implements Source: a trace's bounds are exact, from its header.
+func (t *TraceSource) Bounds() (int64, int64) { return t.hdr.FromMs, t.hdr.ToMs }
+
+// Stats implements Counting.
+func (t *TraceSource) Stats() Stats { return t.stats }
+
+// Close implements Source. The underlying reader belongs to the caller.
+func (t *TraceSource) Close() error { return nil }

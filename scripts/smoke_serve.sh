@@ -50,9 +50,16 @@ curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/instances/nope/diagnoses" |
 METRICS=$(curl -sf "http://$ADDR/metrics")
 for metric in pinsql_fleet_windows_total pinsql_fleet_anomalies_total \
   pinsql_fleet_queue_depth pinsql_registry_raw_cache_misses_total \
-  pinsql_broker_dropped_total; do
+  pinsql_broker_dropped_total pinsql_ingest_records_total \
+  pinsql_ingest_parse_errors_total pinsql_ingest_lag_seconds; do
   echo "$METRICS" | grep -q "^$metric" || { echo "/metrics missing $metric"; exit 1; }
 done
+# Every instance replays through the ingest seam (the simulator is just
+# another Source), so its records counter must move with the fleet.
+echo "$METRICS" | grep '^pinsql_ingest_records_total' | grep -qv ' 0$' \
+  || { echo "ingest records counter stuck at zero"; exit 1; }
+echo "$METRICS" | grep -q '^pinsql_ingest_parse_errors_total{instance="inst-00"} 0$' \
+  || { echo "simulator instance reported parse errors"; exit 1; }
 # Window and anomaly counters must be live (non-zero) while the fleet runs.
 echo "$METRICS" | grep '^pinsql_fleet_windows_total' | grep -qv ' 0$' \
   || { echo "windows counter stuck at zero"; exit 1; }
