@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz-smoke fuzz-search test-corpus bench-parallel bench-logstore bench-gen bench-fleet bench-diagnose bench-ingest smoke-serve clean
+.PHONY: all build test race vet fuzz-smoke fuzz-search test-corpus bench-parallel bench-logstore bench-gen bench-fleet bench-diagnose bench-incremental bench-ingest smoke-serve clean
 
 all: build vet test
 
@@ -78,9 +78,18 @@ bench-fleet:
 # Diagnosis-path comparison: the columnar window frame vs the legacy
 # map-keyed path (windows/sec, allocs/op, bytes/op) with a built-in
 # divergence check — the run exits non-zero if the two paths disagree on
-# any ranking bit. Writes BENCH_diagnose.json.
+# any ranking bit — plus the per-tick incremental-close comparison (delta
+# frame build + streaming detection vs from-scratch rebuild + batch
+# detection), which exits non-zero if any tick diverges or the close
+# speedup drops below the committed floor. Writes BENCH_diagnose.json.
 bench-diagnose:
 	$(GO) run ./cmd/pinsql-bench -exp diagnose -small -seed 3
+
+# The incremental-close gate alone (same floor and divergence checks as
+# bench-diagnose, which embeds it; kept as a named target so CI failures
+# point at the incremental path directly).
+bench-incremental:
+	$(GO) run ./cmd/pinsql-bench -exp diagnose -small -seed 5 -diagnose-out ""
 
 # Trace-ingestion bench: parse throughput of the slow-log adapter stack
 # on the committed example recording, plus the same trace through the

@@ -49,6 +49,7 @@ func realMain() (code int) {
 		corpusDir  = flag.String("corpus-dir", "", "directory the fuzz search writes repro bundles into (empty = none)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		profDir    = flag.String("cpuprofile-dir", "", "for -exp fleet: write one CPU profile per sweep cell (fleet_i<N>_w<W>.pprof) into this directory")
 	)
 	flag.Parse()
 
@@ -219,7 +220,7 @@ func realMain() (code int) {
 		},
 		"fleet": func() {
 			run("fleet", func() (fmt.Stringer, error) {
-				res, err := bench.RunFleetBench(bench.FleetBenchOptions{Seed: *seed, Small: *small})
+				res, err := bench.RunFleetBench(bench.FleetBenchOptions{Seed: *seed, Small: *small, ProfileDir: *profDir})
 				if err != nil {
 					return nil, err
 				}

@@ -250,7 +250,14 @@ func (d *Detector) DetectPhenomena(metrics map[string]timeseries.Series, rules [
 	for name, s := range metrics {
 		features[name] = d.DetectFeatures(name, s)
 	}
+	return d.assemblePhenomena(features, rules)
+}
 
+// assemblePhenomena is the Phenomenon Perception Layer proper: rule
+// application over the basic-layer features, same-type merging, duration
+// filtering and the deterministic final order. The batch and streaming
+// basic layers both feed it.
+func (d *Detector) assemblePhenomena(features map[string][]Event, rules []Rule) []Phenomenon {
 	var phenomena []Phenomenon
 	for _, rule := range rules {
 		phenomena = append(phenomena, d.applyRule(rule, features)...)

@@ -1,0 +1,146 @@
+package anomaly
+
+import (
+	"sort"
+
+	"pinsql/internal/timeseries"
+)
+
+// StreamDetector is the rolling-state form of the Basic Perception Layer:
+// metric samples are observed one second at a time, and the order
+// statistics every feature detector needs (median, MAD, and the
+// first-difference scale of the level-shift detector) are maintained
+// incrementally instead of re-sorting the whole window per detection pass.
+// A per-second monitoring tick therefore costs O(log n) amortized per
+// metric for state maintenance, where the batch detector pays O(n log n)
+// in sorts every time it runs.
+//
+// Determinism contract: DetectPhenomena returns exactly what a batch
+// Detector with the same Config returns over the observed series —
+// bit-identical features, extents and phenomena — because the rolling
+// statistics are bit-equal to the batch ones (timeseries.Rolling) and the
+// run/scan code is shared (DetectSpikesScaled, DetectLevelShiftsScaled).
+// The fleet's byte-identical-reports guarantee survives the streaming
+// rewrite unchanged.
+type StreamDetector struct {
+	det     *Detector
+	streams map[string]*metricStream
+}
+
+// metricStream is one metric's rolling detection state.
+type metricStream struct {
+	s        timeseries.Series   // samples in observation order
+	roll     *timeseries.Rolling // order statistics over s
+	diff     timeseries.Series   // first differences of s
+	diffRoll *timeseries.Rolling // order statistics over diff
+}
+
+func (m *metricStream) observe(v float64) {
+	if len(m.s) > 0 {
+		d := v - m.s[len(m.s)-1]
+		m.diff = append(m.diff, d)
+		m.diffRoll.Append(d)
+	}
+	m.s = append(m.s, v)
+	m.roll.Append(v)
+}
+
+// NewStreamDetector creates a streaming detector; zero-valued config
+// fields fall back to defaults exactly as NewDetector's do.
+func NewStreamDetector(cfg Config) *StreamDetector {
+	return &StreamDetector{
+		det:     NewDetector(cfg),
+		streams: make(map[string]*metricStream),
+	}
+}
+
+// Observe appends one per-second sample of the named metric, updating its
+// rolling state.
+func (d *StreamDetector) Observe(metric string, v float64) {
+	m := d.streams[metric]
+	if m == nil {
+		m = &metricStream{
+			roll:     timeseries.NewRolling(),
+			diffRoll: timeseries.NewRolling(),
+		}
+		d.streams[metric] = m
+	}
+	m.observe(v)
+}
+
+// ObserveSeries appends every sample of s, in order, to the named metric.
+func (d *StreamDetector) ObserveSeries(metric string, s timeseries.Series) {
+	for _, v := range s {
+		d.Observe(metric, v)
+	}
+}
+
+// Len returns the number of samples observed for a metric.
+func (d *StreamDetector) Len(metric string) int {
+	if m := d.streams[metric]; m != nil {
+		return len(m.s)
+	}
+	return 0
+}
+
+// detectFeatures is DetectFeatures off the rolling state: the medians and
+// robust scales come from the incrementally maintained order statistics,
+// the scans are the shared batch code paths.
+func (d *StreamDetector) detectFeatures(metric string, m *metricStream) []Event {
+	cfg := d.det.cfg
+	var events []Event
+	if cfg.UseEWMA {
+		// The EWMA control chart is a single O(n) recurrence with no
+		// order statistics; the batch implementation is already the
+		// streaming one.
+		events = append(events, DetectEWMA(metric, m.s, cfg.EWMA)...)
+	}
+	if len(m.s) > 0 {
+		med := m.roll.Median()
+		scale := m.roll.MAD() * 1.4826
+		if scale == 0 {
+			// Rare fallback (constant-so-far metric): the batch rule
+			// uses the plain standard deviation, computed on demand.
+			scale = m.s.Std()
+		}
+		for _, sp := range m.s.DetectSpikesScaled(cfg.SpikeZ, med, scale) {
+			f := SpikeUp
+			if sp.Direction == timeseries.SpikeDown {
+				f = SpikeDown
+			}
+			events = append(events, Event{Metric: metric, Feature: f, Start: sp.Start, End: sp.End})
+		}
+	}
+	if len(m.s) >= 2*cfg.ShiftWindow {
+		scale := m.diffRoll.MAD() * 1.4826
+		if scale == 0 {
+			scale = m.diff.Std()
+		}
+		for _, sh := range m.s.DetectLevelShiftsScaled(cfg.ShiftWindow, cfg.ShiftZ, scale) {
+			f := LevelShiftUp
+			if sh.Direction == timeseries.SpikeDown {
+				f = LevelShiftDown
+			}
+			end := shiftExtent(m.s, sh.At, sh.Delta)
+			events = append(events, Event{Metric: metric, Feature: f, Start: sh.At, End: end})
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Start != events[j].Start {
+			return events[i].Start < events[j].Start
+		}
+		return events[i].Feature < events[j].Feature
+	})
+	return events
+}
+
+// DetectPhenomena runs the Phenomenon Perception Layer over the features
+// detected from the current rolling state of every observed metric. The
+// result is bit-identical to a batch Detector over the same series.
+func (d *StreamDetector) DetectPhenomena(rules []Rule) []Phenomenon {
+	features := make(map[string][]Event, len(d.streams))
+	for name, m := range d.streams {
+		features[name] = d.detectFeatures(name, m)
+	}
+	return d.det.assemblePhenomena(features, rules)
+}

@@ -1,0 +1,148 @@
+package anomaly
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pinsql/internal/timeseries"
+)
+
+// streamTestSeries builds a set of metric traces that exercise every
+// detector path: quiet noise, spikes, level shifts, constant prefixes
+// (zero-MAD fallback) and negative excursions.
+func streamTestSeries(seed int64, n int) map[string]timeseries.Series {
+	rng := rand.New(rand.NewSource(seed))
+	quiet := make(timeseries.Series, n)
+	spiky := make(timeseries.Series, n)
+	shifted := make(timeseries.Series, n)
+	constant := make(timeseries.Series, n)
+	mixed := make(timeseries.Series, n)
+	for i := 0; i < n; i++ {
+		base := 10 + rng.Float64()
+		quiet[i] = base
+		spiky[i] = base
+		if i%37 == 0 {
+			spiky[i] += 40 + rng.Float64()*10
+		}
+		if i%53 == 1 {
+			spiky[i] -= 35
+		}
+		shifted[i] = base
+		if i >= n/2 {
+			shifted[i] += 25
+		}
+		constant[i] = 4
+		mixed[i] = base + rng.NormFloat64()
+		if i > n/3 && i < n/3+8 {
+			mixed[i] += 60
+		}
+		if i >= 3*n/4 {
+			mixed[i] -= 18
+		}
+	}
+	return map[string]timeseries.Series{
+		MetricActiveSession: spiky,
+		MetricCPUUsage:      shifted,
+		MetricIOPSUsage:     quiet,
+		MetricMemUsage:      constant,
+		MetricQPS:           mixed,
+	}
+}
+
+// TestStreamDetectorMatchesBatch pins the streaming Basic Perception Layer
+// to the batch one: after observing any prefix of each metric, the
+// streaming detector's phenomena equal a batch detector's over the same
+// prefixes, for several configs including low thresholds (dense events),
+// EWMA enabled, and defaults.
+func TestStreamDetectorMatchesBatch(t *testing.T) {
+	configs := []struct {
+		name string
+		cfg  Config
+	}{
+		{"defaults", Config{}},
+		{"sensitive", Config{SpikeZ: 2.5, ShiftWindow: 10, ShiftZ: 2, MinDurationSec: 1, MergeGapSec: 5}},
+		{"ewma", Config{SpikeZ: 3, ShiftWindow: 12, ShiftZ: 3, MinDurationSec: 1, MergeGapSec: 10, UseEWMA: true}},
+	}
+	rules := append(DefaultRules(), Rule{
+		Name: "qps_anomaly",
+		Conditions: []Condition{{
+			Metric:   MetricQPS,
+			Features: []Feature{SpikeUp, SpikeDown, LevelShiftUp, LevelShiftDown},
+		}},
+	}, Rule{
+		Name: "mem_anomaly",
+		Conditions: []Condition{{
+			Metric:   MetricMemUsage,
+			Features: []Feature{SpikeUp, LevelShiftUp},
+		}},
+	})
+
+	for _, tc := range configs {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := int64(0); seed < 3; seed++ {
+				const n = 240
+				metrics := streamTestSeries(seed, n)
+				stream := NewStreamDetector(tc.cfg)
+				batch := NewDetector(tc.cfg)
+
+				// Feed second by second; compare at a few prefixes and at
+				// the end, so mid-window ticks are pinned, not just the
+				// final state.
+				checkpoints := map[int]bool{1: true, 7: true, n / 3: true, n / 2: true, n - 1: true, n: true}
+				for i := 0; i < n; i++ {
+					for name, s := range metrics {
+						stream.Observe(name, s[i])
+					}
+					if !checkpoints[i+1] {
+						continue
+					}
+					prefix := make(map[string]timeseries.Series, len(metrics))
+					for name, s := range metrics {
+						prefix[name] = s[:i+1]
+					}
+					got := stream.DetectPhenomena(rules)
+					want := batch.DetectPhenomena(prefix, rules)
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("seed %d prefix %d: streaming phenomena diverge from batch\n got: %+v\nwant: %+v",
+							seed, i+1, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestStreamDetectorFeatureEvents pins the basic layer directly: per-metric
+// event lists must match DetectFeatures exactly at every prefix length of a
+// trace that triggers both spikes and shifts.
+func TestStreamDetectorFeatureEvents(t *testing.T) {
+	cfg := Config{SpikeZ: 3, ShiftWindow: 8, ShiftZ: 2.5, MinDurationSec: 1, MergeGapSec: 5}
+	metrics := streamTestSeries(11, 120)
+	stream := NewStreamDetector(cfg)
+	batch := NewDetector(cfg)
+	for name, s := range metrics {
+		for i := range s {
+			stream.Observe(name, s[i])
+			got := stream.detectFeatures(name, stream.streams[name])
+			want := batch.DetectFeatures(name, s[:i+1])
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("metric %s prefix %d: events diverge\n got: %+v\nwant: %+v", name, i+1, got, want)
+			}
+		}
+	}
+}
+
+// TestStreamDetectorObserveSeriesAndLen covers the bulk-feed helper and the
+// length accessor.
+func TestStreamDetectorObserveSeriesAndLen(t *testing.T) {
+	s := timeseries.Series{1, 2, 3, 4}
+	d := NewStreamDetector(Config{})
+	if d.Len("x") != 0 {
+		t.Fatalf("unobserved metric should have length 0")
+	}
+	d.ObserveSeries("x", s)
+	if d.Len("x") != len(s) {
+		t.Fatalf("Len = %d, want %d", d.Len("x"), len(s))
+	}
+}

@@ -53,6 +53,12 @@ type DiagnoseBench struct {
 	ByteRatio        float64 `json:"byte_ratio"` // legacy / frame
 
 	Identical bool `json:"identical"`
+
+	// Incremental is the per-tick incremental-vs-rebuild close comparison
+	// (delta frame build + streaming detection against from-scratch frame
+	// build + batch detection). Its Identical flag and SpeedupFloor gate
+	// the same CI smoke this document feeds.
+	Incremental *IncrementalBench `json:"incremental"`
 }
 
 // diagnoseBenchCorpus is the fixed four-family workload the benchmark
@@ -202,6 +208,12 @@ func RunDiagnoseBench(opt DiagnoseBenchOptions) (*DiagnoseBench, error) {
 	if frameBytes > 0 {
 		out.ByteRatio = legacyBytes / frameBytes
 	}
+
+	inc, err := runIncrementalBench(opt.Seed, opt.Small)
+	out.Incremental = inc
+	if err != nil {
+		return out, err
+	}
 	return out, nil
 }
 
@@ -215,5 +227,9 @@ func (b *DiagnoseBench) Format() string {
 	fmt.Fprintf(&s, "%-8s | %14.1f | %14.0f | %14.0f\n", "frame", b.FrameWindowsPerSec, b.FrameAllocsPerOp, b.FrameBytesPerOp)
 	fmt.Fprintf(&s, "speedup %.2fx, %.1fx fewer allocs, %.1fx fewer bytes, identical=%v\n",
 		b.Speedup, b.AllocRatio, b.ByteRatio, b.Identical)
+	if b.Incremental != nil {
+		s.WriteString("\n")
+		s.WriteString(b.Incremental.Format())
+	}
 	return s.String()
 }

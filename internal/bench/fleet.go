@@ -2,6 +2,9 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -14,6 +17,12 @@ type FleetBenchOptions struct {
 	Seed    int64
 	Windows int  // windows per instance; 0 → 3 (2 when Small)
 	Small   bool // CI-sized: fewer/shorter windows, smaller sweep
+
+	// ProfileDir, when non-empty, writes one CPU profile per sweep cell
+	// as fleet_i<instances>_w<workers>.pprof under the directory
+	// (created if missing) — the investigation handle for worker-scaling
+	// regressions like the known 1→2 worker slowdown at 8 instances.
+	ProfileDir string
 }
 
 // FleetBenchRow is one (instances × workers) cell of the sweep.
@@ -23,10 +32,15 @@ type FleetBenchRow struct {
 	Windows       int     `json:"windows"` // committed across the fleet
 	WallSec       float64 `json:"wall_sec"`
 	WindowsPerSec float64 `json:"windows_per_sec"`
-	ShedRate      float64 `json:"shed_rate"` // shed windows / committed windows
-	PeakQueue     int     `json:"peak_queue"`
-	Records       int64   `json:"records"`
-	Dropped       int64   `json:"dropped"` // broker backpressure loss
+	// ScalingEfficiency is windows/sec per worker relative to the same
+	// instance count's 1-worker cell: 1.0 is perfect linear scaling,
+	// below 1.0 the extra workers are partly idle or contending. Zero
+	// when the sweep has no 1-worker baseline for the instance count.
+	ScalingEfficiency float64 `json:"scaling_efficiency"`
+	ShedRate          float64 `json:"shed_rate"` // shed windows / committed windows
+	PeakQueue         int     `json:"peak_queue"`
+	Records           int64   `json:"records"`
+	Dropped           int64   `json:"dropped"` // broker backpressure loss
 }
 
 // FleetBench is the document behind BENCH_fleet.json: how fleet throughput
@@ -63,21 +77,52 @@ func RunFleetBench(opt FleetBenchOptions) (*FleetBench, error) {
 		}
 	}
 
+	if opt.ProfileDir != "" {
+		if err := os.MkdirAll(opt.ProfileDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
 	out := &FleetBench{WindowSec: windowSec}
 	for _, n := range instanceCounts {
+		baseline := 0.0 // 1-worker windows/sec for this instance count
 		for _, w := range workers {
 			specs := fleet.DefaultFleet(n, opt.Seed, windows, windowSec)
 			f, err := fleet.New(specs, fleet.Options{Workers: w, QueueDepth: 4})
 			if err != nil {
 				return nil, err
 			}
+			var prof *os.File
+			if opt.ProfileDir != "" {
+				name := filepath.Join(opt.ProfileDir, fmt.Sprintf("fleet_i%d_w%d.pprof", n, w))
+				if prof, err = os.Create(name); err != nil {
+					f.Close()
+					return nil, err
+				}
+				if err := pprof.StartCPUProfile(prof); err != nil {
+					prof.Close()
+					f.Close()
+					return nil, err
+				}
+			}
 			start := time.Now()
 			f.Start()
 			if err := f.Wait(); err != nil {
+				if prof != nil {
+					pprof.StopCPUProfile()
+					prof.Close()
+				}
 				f.Close()
 				return nil, err
 			}
 			wall := time.Since(start).Seconds()
+			if prof != nil {
+				pprof.StopCPUProfile()
+				if err := prof.Close(); err != nil {
+					f.Close()
+					return nil, err
+				}
+			}
 			st := f.Status()
 			row := FleetBenchRow{
 				Instances: n,
@@ -88,6 +133,12 @@ func RunFleetBench(opt FleetBenchOptions) (*FleetBench, error) {
 			}
 			if wall > 0 {
 				row.WindowsPerSec = float64(st.Committed) / wall
+			}
+			if w == 1 {
+				baseline = row.WindowsPerSec
+			}
+			if baseline > 0 && w > 0 {
+				row.ScalingEfficiency = row.WindowsPerSec / (baseline * float64(w))
 			}
 			for _, is := range st.Instances {
 				if is.PeakQueue > row.PeakQueue {
@@ -109,11 +160,11 @@ func RunFleetBench(opt FleetBenchOptions) (*FleetBench, error) {
 func (b *FleetBench) Format() string {
 	var s strings.Builder
 	fmt.Fprintf(&s, "Fleet throughput sweep (%ds windows)\n", b.WindowSec)
-	s.WriteString("  instances  workers  windows   wall(s)  win/s    shed%  peakQ   records  dropped\n")
+	s.WriteString("  instances  workers  windows   wall(s)  win/s   eff    shed%  peakQ   records  dropped\n")
 	for _, r := range b.Rows {
-		fmt.Fprintf(&s, "  %9d  %7d  %7d  %8.2f  %5.1f  %6.1f  %5d  %8d  %7d\n",
+		fmt.Fprintf(&s, "  %9d  %7d  %7d  %8.2f  %5.1f  %4.2f  %6.1f  %5d  %8d  %7d\n",
 			r.Instances, r.Workers, r.Windows, r.WallSec, r.WindowsPerSec,
-			r.ShedRate*100, r.PeakQueue, r.Records, r.Dropped)
+			r.ScalingEfficiency, r.ShedRate*100, r.PeakQueue, r.Records, r.Dropped)
 	}
 	return s.String()
 }

@@ -1,6 +1,8 @@
 package collect
 
 import (
+	"math"
+	"sort"
 	"sync"
 
 	"pinsql/internal/dbsim"
@@ -20,6 +22,29 @@ type TemplateSeries struct {
 	SumRT     timeseries.Series // Σ tres per second, milliseconds
 	SumRows   timeseries.Series // Σ #examined_rows per second
 	Throttled timeseries.Series // statements rejected by a throttle rule
+
+	// sealed marks the live series as referenced by the collector's last
+	// sealed frame: the next aggregate mutation clones them first
+	// (copy-on-seal), so sealed frames stay immutable without recopying
+	// untouched templates at every seal.
+	sealed bool
+	// sealPos is 1 + this template's position in the last sealed frame
+	// (0 = not in it): the delta build fetches a clean group's
+	// already-sorted column from there instead of re-sorting its tail.
+	sealPos int32
+}
+
+// touch prepares the series for mutation: if the last sealed frame still
+// references them, fresh copies replace them first.
+func (ts *TemplateSeries) touch() {
+	if !ts.sealed {
+		return
+	}
+	ts.Count = ts.Count.Clone()
+	ts.SumRT = ts.SumRT.Clone()
+	ts.SumRows = ts.SumRows.Clone()
+	ts.Throttled = ts.Throttled.Clone()
+	ts.sealed = false
 }
 
 // MeanRT returns the average response time per executed statement over the
@@ -82,9 +107,79 @@ func (s *Snapshot) Template(id sqltemplate.ID) *TemplateSeries {
 	return s.byID[id]
 }
 
+// metricSet is the live per-second instance metric series, populated row
+// by row during ingestion. set is the single bounds-checked placement
+// point: Snapshot and Frame previously each re-copied the accumulated rows
+// with their own silent `i >= seconds` truncation; now rows land in their
+// final columnar form exactly once.
+type metricSet struct {
+	ActiveSession timeseries.Series
+	AvgSession    timeseries.Series
+	CPUUsage      timeseries.Series
+	IOPSUsage     timeseries.Series
+	MemUsage      timeseries.Series
+	QPS           timeseries.Series
+	RowLockWaits  timeseries.Series
+	MDLWaits      timeseries.Series
+}
+
+func newMetricSet(seconds int) metricSet {
+	return metricSet{
+		ActiveSession: make(timeseries.Series, seconds),
+		AvgSession:    make(timeseries.Series, seconds),
+		CPUUsage:      make(timeseries.Series, seconds),
+		IOPSUsage:     make(timeseries.Series, seconds),
+		MemUsage:      make(timeseries.Series, seconds),
+		QPS:           make(timeseries.Series, seconds),
+		RowLockWaits:  make(timeseries.Series, seconds),
+		MDLWaits:      make(timeseries.Series, seconds),
+	}
+}
+
+func (m *metricSet) clone() metricSet {
+	return metricSet{
+		ActiveSession: m.ActiveSession.Clone(),
+		AvgSession:    m.AvgSession.Clone(),
+		CPUUsage:      m.CPUUsage.Clone(),
+		IOPSUsage:     m.IOPSUsage.Clone(),
+		MemUsage:      m.MemUsage.Clone(),
+		QPS:           m.QPS.Clone(),
+		RowLockWaits:  m.RowLockWaits.Clone(),
+		MDLWaits:      m.MDLWaits.Clone(),
+	}
+}
+
+// set places one metric row at window second sec; rows outside [0, seconds)
+// are dropped.
+func (m *metricSet) set(sec int, row dbsim.SecondMetrics) {
+	if sec < 0 || sec >= len(m.ActiveSession) {
+		return
+	}
+	m.ActiveSession[sec] = row.ActiveSession
+	m.AvgSession[sec] = row.AvgActiveSession
+	m.CPUUsage[sec] = row.CPUUsage
+	m.IOPSUsage[sec] = row.IOPSUsage
+	m.MemUsage[sec] = row.MemUsage
+	m.QPS[sec] = float64(row.QPS)
+	m.RowLockWaits[sec] = float64(row.RowLockWaits)
+	m.MDLWaits[sec] = float64(row.MDLWaits)
+}
+
+// noDirtyObs is the dirty-watermark sentinel: no observation group has
+// changed since the last seal.
+const noDirtyObs = math.MaxInt
+
 // Collector ingests the raw query-log stream and instance metrics of one
 // database instance over a fixed window, producing per-template aggregates
 // and archiving compact records in the log store.
+//
+// Frame maintenance is incremental: observation columns accumulate in
+// per-template tails grown in place during Ingest, and each Frame call
+// seals a new immutable frame by patching only what changed since the
+// previous seal — the dirty suffix of the observation columns (tracked by
+// a minimum-position watermark), the aggregate series of touched templates
+// (copy-on-seal), and the live metric series (also copy-on-seal). A warm
+// close therefore allocates O(new records), not O(window).
 type Collector struct {
 	mu       sync.Mutex
 	topic    string
@@ -95,26 +190,49 @@ type Collector struct {
 
 	templates map[int32]*TemplateSeries
 
+	// ordered mirrors templates in ascending Meta.Index order — the
+	// frame's template-position order — maintained by insertion as new
+	// templates intern, so sealing never re-sorts. posOf resolves a
+	// registry index to its current position.
+	ordered []*TemplateSeries
+	posOf   map[int32]int
+
 	// obs accumulates each template's raw observation columns during
 	// Ingest — the same records the store archives, in the same insertion
-	// order — so Frame() never re-scans the store.
+	// order — so Frame() never re-scans the store. Tails are append-only
+	// and never sorted in place: a seal copies the tail into the frame
+	// column and sorts the copy.
 	obs map[int32]*obsColumns
 
-	metrics []dbsim.SecondMetrics
+	// met holds the live metric series; metSealed marks them as referenced
+	// by the last sealed frame (copy-on-seal, like TemplateSeries.sealed).
+	// metricsLen is the logical row count of the positional IngestMetrics
+	// path: row i of accumulated calls lands at window second i.
+	met        metricSet
+	metSealed  bool
+	metricsLen int
 
 	records int64 // raw query records archived to the store
 
-	// frame caches the last built window frame; any later Ingest or
-	// IngestMetrics invalidates it (mid-window snapshots, as in the Fig. 8
-	// scripted scenario, rebuild on the next Frame call).
-	frame *window.Frame
+	// frame is the last sealed frame; frameValid reports that nothing was
+	// ingested since its seal, so Frame() returns it unchanged. dirtyObs
+	// is the smallest frame position whose observation group changed since
+	// that seal (noDirtyObs when none), and tsetChanged reports templates
+	// added since — both reset at seal.
+	frame       *window.Frame
+	frameValid  bool
+	dirtyObs    int
+	tsetChanged bool
 }
 
 // obsColumns is one template's in-progress observation columns, appended in
-// log-store insertion order.
+// log-store insertion order. dirty marks appends since the last seal: only
+// dirty groups are re-sorted at seal; clean groups copy their sorted form
+// from the previous frame.
 type obsColumns struct {
 	arrival  []int64
 	response []float64
+	dirty    bool
 }
 
 // NewCollector creates a collector for the window [startMs, endMs) on the
@@ -129,14 +247,18 @@ func NewCollector(topic string, startMs, endMs int64, registry *Registry, store 
 	if store == nil {
 		store = logstore.New(0)
 	}
+	seconds := int((endMs - startMs + 999) / 1000)
 	return &Collector{
 		topic:     topic,
 		startMs:   startMs,
-		seconds:   int((endMs - startMs + 999) / 1000),
+		seconds:   seconds,
 		registry:  registry,
 		store:     store,
 		templates: make(map[int32]*TemplateSeries),
+		posOf:     make(map[int32]int),
 		obs:       make(map[int32]*obsColumns),
+		met:       newMetricSet(seconds),
+		dirtyObs:  noDirtyObs,
 	}
 }
 
@@ -149,6 +271,25 @@ func (c *Collector) Store() logstore.Backend { return c.store }
 // Sink returns a dbsim.LogSink that feeds this collector; plug it directly
 // into a simulation run.
 func (c *Collector) Sink() dbsim.LogSink { return c.Ingest }
+
+// insertOrdered places a freshly interned template into the position-order
+// mirror and lowers the dirty watermark to its insertion point: every
+// position at or after it shifts, so the seal rebuilds that suffix.
+func (c *Collector) insertOrdered(ts *TemplateSeries) {
+	pos := sort.Search(len(c.ordered), func(i int) bool {
+		return c.ordered[i].Meta.Index > ts.Meta.Index
+	})
+	c.ordered = append(c.ordered, nil)
+	copy(c.ordered[pos+1:], c.ordered[pos:])
+	c.ordered[pos] = ts
+	for i := pos; i < len(c.ordered); i++ {
+		c.posOf[c.ordered[i].Meta.Index] = i
+	}
+	c.tsetChanged = true
+	if pos < c.dirtyObs {
+		c.dirtyObs = pos
+	}
+}
 
 // Ingest consumes one query-log record.
 func (c *Collector) Ingest(rec dbsim.LogRecord) {
@@ -172,10 +313,12 @@ func (c *Collector) Ingest(rec dbsim.LogRecord) {
 			Throttled: make(timeseries.Series, c.seconds),
 		}
 		c.templates[meta.Index] = ts
+		c.insertOrdered(ts)
 	}
+	ts.touch()
 	if rec.Throttled {
 		ts.Throttled[sec]++
-		c.frame = nil
+		c.frameValid = false
 		c.mu.Unlock()
 		return
 	}
@@ -193,7 +336,11 @@ func (c *Collector) Ingest(rec dbsim.LogRecord) {
 	}
 	col.arrival = append(col.arrival, rec.ArrivalMs)
 	col.response = append(col.response, rec.ResponseMs)
-	c.frame = nil
+	col.dirty = true
+	if pos := c.posOf[meta.Index]; pos < c.dirtyObs {
+		c.dirtyObs = pos
+	}
+	c.frameValid = false
 
 	// Raw record for the log store (session estimation needs per-query
 	// start and response times, §IV-C). Loose append: records are emitted
@@ -210,6 +357,15 @@ func (c *Collector) Ingest(rec dbsim.LogRecord) {
 	c.mu.Unlock()
 }
 
+// touchMetricsLocked prepares the metric series for mutation, cloning them
+// first if the last sealed frame still references them.
+func (c *Collector) touchMetricsLocked() {
+	if c.metSealed {
+		c.met = c.met.clone()
+		c.metSealed = false
+	}
+}
+
 // IngestMetrics stores the instance's per-second performance metrics.
 //
 // Contract (audited for the ingest layer): placement is positional, not
@@ -223,8 +379,14 @@ func (c *Collector) Ingest(rec dbsim.LogRecord) {
 func (c *Collector) IngestMetrics(rows []dbsim.SecondMetrics) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.metrics = append(c.metrics, rows...)
-	c.frame = nil
+	if len(rows) > 0 {
+		c.touchMetricsLocked()
+	}
+	for _, m := range rows {
+		c.met.set(c.metricsLen, m)
+		c.metricsLen++
+	}
+	c.frameValid = false
 }
 
 // IngestMetricsAt stores per-second performance metrics keyed by each
@@ -240,12 +402,16 @@ func (c *Collector) IngestMetricsAt(rows []dbsim.SecondMetrics) {
 		if m.Second < 0 || m.Second >= int64(c.seconds) {
 			continue
 		}
-		for int64(len(c.metrics)) <= m.Second {
-			c.metrics = append(c.metrics, dbsim.SecondMetrics{Second: int64(len(c.metrics))})
+		c.touchMetricsLocked()
+		c.met.set(int(m.Second), m)
+		// Keep the positional path's cursor consistent with the
+		// accumulated-rows semantics: the next IngestMetrics row lands
+		// after the highest second placed so far.
+		if n := int(m.Second) + 1; n > c.metricsLen {
+			c.metricsLen = n
 		}
-		c.metrics[m.Second] = m
 	}
-	c.frame = nil
+	c.frameValid = false
 }
 
 // Snapshot assembles the aggregated window view. It is safe to call while
@@ -254,35 +420,23 @@ func (c *Collector) Snapshot() *Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 
+	met := c.met.clone()
 	snap := &Snapshot{
 		Topic:         c.topic,
 		StartMs:       c.startMs,
 		Seconds:       c.seconds,
-		ActiveSession: make(timeseries.Series, c.seconds),
-		AvgSession:    make(timeseries.Series, c.seconds),
-		CPUUsage:      make(timeseries.Series, c.seconds),
-		IOPSUsage:     make(timeseries.Series, c.seconds),
-		MemUsage:      make(timeseries.Series, c.seconds),
-		QPS:           make(timeseries.Series, c.seconds),
-		RowLockWaits:  make(timeseries.Series, c.seconds),
-		MDLWaits:      make(timeseries.Series, c.seconds),
+		ActiveSession: met.ActiveSession,
+		AvgSession:    met.AvgSession,
+		CPUUsage:      met.CPUUsage,
+		IOPSUsage:     met.IOPSUsage,
+		MemUsage:      met.MemUsage,
+		QPS:           met.QPS,
+		RowLockWaits:  met.RowLockWaits,
+		MDLWaits:      met.MDLWaits,
 	}
-	for i, m := range c.metrics {
-		if i >= c.seconds {
-			break
-		}
-		snap.ActiveSession[i] = m.ActiveSession
-		snap.AvgSession[i] = m.AvgActiveSession
-		snap.CPUUsage[i] = m.CPUUsage
-		snap.IOPSUsage[i] = m.IOPSUsage
-		snap.MemUsage[i] = m.MemUsage
-		snap.QPS[i] = float64(m.QPS)
-		snap.RowLockWaits[i] = float64(m.RowLockWaits)
-		snap.MDLWaits[i] = float64(m.MDLWaits)
-	}
-
-	snap.Templates = make([]*TemplateSeries, 0, len(c.templates))
-	for _, ts := range c.templates {
+	// c.ordered is already in the deterministic registry-index order.
+	snap.Templates = make([]*TemplateSeries, 0, len(c.ordered))
+	for _, ts := range c.ordered {
 		snap.Templates = append(snap.Templates, &TemplateSeries{
 			Meta:      ts.Meta,
 			Count:     ts.Count.Clone(),
@@ -291,49 +445,156 @@ func (c *Collector) Snapshot() *Snapshot {
 			Throttled: ts.Throttled.Clone(),
 		})
 	}
-	// Deterministic order: by registry index.
-	sortTemplates(snap.Templates)
 	return snap
 }
 
-// Frame assembles (and caches) the collection window as a columnar
+// Frame seals (and caches) the collection window as a columnar
 // window.Frame — per-template aggregates, observation columns grouped by
 // template position, the metric series, and the ByID permutation. The
 // frame is built from data accumulated during Ingest; the log store is
-// never re-scanned. Like Snapshot, the frame's series are copies: further
-// ingestion invalidates the cache instead of mutating a returned frame.
+// never re-scanned.
+//
+// The seal is a delta build: observation groups below the dirty watermark
+// are copied wholesale from the previous (immutable) frame, only groups at
+// or above it are re-materialized from their tails, and aggregate/metric
+// series are handed out by reference under the copy-on-seal protocol —
+// the live copies are cloned on the next mutation, never at seal. Sealed
+// frames are immutable; holding one across further ingestion is safe.
 func (c *Collector) Frame() *window.Frame {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.frame != nil {
+	if c.frame != nil && c.frameValid {
 		return c.frame
 	}
+	f := c.sealLocked()
+	c.frame = f
+	c.frameValid = true
+	return f
+}
+
+// sealLocked builds the next immutable frame from the previous one plus
+// the dirty state accumulated since its seal.
+func (c *Collector) sealLocked() *window.Frame {
+	prev := c.frame
+	T := len(c.ordered)
 
 	f := &window.Frame{
 		Topic:         c.topic,
 		StartMs:       c.startMs,
 		Seconds:       c.seconds,
-		ActiveSession: make(timeseries.Series, c.seconds),
-		AvgSession:    make(timeseries.Series, c.seconds),
-		CPUUsage:      make(timeseries.Series, c.seconds),
-		IOPSUsage:     make(timeseries.Series, c.seconds),
-		MemUsage:      make(timeseries.Series, c.seconds),
-		QPS:           make(timeseries.Series, c.seconds),
-		RowLockWaits:  make(timeseries.Series, c.seconds),
-		MDLWaits:      make(timeseries.Series, c.seconds),
+		ActiveSession: c.met.ActiveSession,
+		AvgSession:    c.met.AvgSession,
+		CPUUsage:      c.met.CPUUsage,
+		IOPSUsage:     c.met.IOPSUsage,
+		MemUsage:      c.met.MemUsage,
+		QPS:           c.met.QPS,
+		RowLockWaits:  c.met.RowLockWaits,
+		MDLWaits:      c.met.MDLWaits,
 	}
-	for i, m := range c.metrics {
-		if i >= c.seconds {
-			break
+	c.metSealed = true
+
+	dirty := c.dirtyObs
+	if prev == nil {
+		dirty = 0
+	}
+	if dirty > T {
+		dirty = T
+	}
+
+	if prev != nil && !c.tsetChanged && dirty == T {
+		// No observation changed: the columns of the previous frame are
+		// exactly right — share them.
+		f.Off, f.Arrival, f.Response = prev.Off, prev.Arrival, prev.Response
+	} else {
+		total := 0
+		for _, col := range c.obs {
+			total += len(col.arrival)
 		}
-		f.ActiveSession[i] = m.ActiveSession
-		f.AvgSession[i] = m.AvgActiveSession
-		f.CPUUsage[i] = m.CPUUsage
-		f.IOPSUsage[i] = m.IOPSUsage
-		f.MemUsage[i] = m.MemUsage
-		f.QPS[i] = float64(m.QPS)
-		f.RowLockWaits[i] = float64(m.RowLockWaits)
-		f.MDLWaits[i] = float64(m.MDLWaits)
+		f.Off = make([]int32, T+1)
+		f.Arrival = make([]int64, total)
+		f.Response = make([]float64, total)
+
+		if dirty > 0 {
+			// Positions below the watermark are untouched since the last
+			// seal: identical groups at identical offsets (template
+			// inserts always lower the watermark to the insertion point,
+			// so the prefix's positions still name the same templates).
+			n := int(prev.Off[dirty])
+			copy(f.Arrival[:n], prev.Arrival[:n])
+			copy(f.Response[:n], prev.Response[:n])
+			copy(f.Off[:dirty+1], prev.Off[:dirty+1])
+		}
+		for pos := dirty; pos < T; pos++ {
+			ts := c.ordered[pos]
+			off := int(f.Off[pos])
+			end := off
+			if col := c.obs[ts.Meta.Index]; col != nil {
+				end = off + len(col.arrival)
+				if !col.dirty && prev != nil && ts.sealPos > 0 {
+					// Clean group above the watermark (only its position
+					// shifted): its sorted column already exists in the
+					// previous frame — copy it instead of re-sorting.
+					plo := int(prev.Off[ts.sealPos-1])
+					copy(f.Arrival[off:end], prev.Arrival[plo:plo+len(col.arrival)])
+					copy(f.Response[off:end], prev.Response[plo:plo+len(col.arrival)])
+				} else {
+					copy(f.Arrival[off:end], col.arrival)
+					copy(f.Response[off:end], col.response)
+					window.SortObsGroup(f.Arrival[off:end], f.Response[off:end])
+					col.dirty = false
+				}
+			}
+			f.Off[pos+1] = int32(end)
+		}
+	}
+
+	f.Templates = make([]window.Template, T)
+	for i, ts := range c.ordered {
+		f.Templates[i] = window.Template{
+			Meta:      window.Meta(ts.Meta),
+			Count:     ts.Count,
+			SumRT:     ts.SumRT,
+			SumRows:   ts.SumRows,
+			Throttled: ts.Throttled,
+		}
+		ts.sealed = true
+		ts.sealPos = int32(i) + 1
+	}
+
+	if prev != nil && !c.tsetChanged {
+		f.FinalizeShared(prev)
+	} else {
+		f.FinalizeSorted()
+	}
+	c.dirtyObs = noDirtyObs
+	c.tsetChanged = false
+	return f
+}
+
+// RebuildFrame assembles the window frame from scratch — every series
+// cloned, every observation group re-concatenated and re-sorted, all
+// derived state recomputed — exactly as Frame did before the delta build.
+// It ignores and leaves untouched the incremental seal state, so it is the
+// from-scratch reference the differential tests and the frame-maintenance
+// benchmark compare the delta build against. The result must be
+// byte-identical to Frame()'s at every point of any ingest interleaving.
+func (c *Collector) RebuildFrame() *window.Frame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	met := c.met.clone()
+	f := &window.Frame{
+		Topic:         c.topic,
+		StartMs:       c.startMs,
+		Seconds:       c.seconds,
+		ActiveSession: met.ActiveSession,
+		AvgSession:    met.AvgSession,
+		CPUUsage:      met.CPUUsage,
+		IOPSUsage:     met.IOPSUsage,
+		MemUsage:      met.MemUsage,
+		QPS:           met.QPS,
+		RowLockWaits:  met.RowLockWaits,
+		MDLWaits:      met.MDLWaits,
 	}
 
 	ordered := make([]*TemplateSeries, 0, len(c.templates))
@@ -365,7 +626,6 @@ func (c *Collector) Frame() *window.Frame {
 		f.Off[i+1] = int32(len(f.Arrival))
 	}
 	f.Finalize()
-	c.frame = f
 	return f
 }
 

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"pinsql/internal/anomaly"
+	"pinsql/internal/window"
+)
+
+// Perception is the perception front of the diagnosis pipeline: the Basic
+// and Phenomenon Perception Layers (§IV-B) over the metrics of one
+// monitoring window, backed by rolling order-statistics state
+// (anomaly.StreamDetector). Feeding one second at a time costs O(log n)
+// amortized per metric instead of the O(n log n) full-window re-sort the
+// batch detector pays on every pass, while the recognized phenomena stay
+// bit-identical to the batch path — so diagnosis reports remain
+// byte-identical across worker counts and restarts.
+//
+// A Perception is per-window state: create one per monitoring window,
+// observe the window's metric samples (incrementally via ObserveSecond or
+// all at once via ObserveFrame) and harvest with Phenomena.
+type Perception struct {
+	det   *anomaly.StreamDetector
+	rules []anomaly.Rule
+}
+
+// NewPerception builds a perception front with the given detector config
+// and phenomenon rules. Nil rules fall back to anomaly.DefaultRules.
+func NewPerception(cfg anomaly.Config, rules []anomaly.Rule) *Perception {
+	if rules == nil {
+		rules = anomaly.DefaultRules()
+	}
+	return &Perception{det: anomaly.NewStreamDetector(cfg), rules: rules}
+}
+
+// ObserveSecond appends one per-second sample of the named metric.
+func (p *Perception) ObserveSecond(metric string, v float64) {
+	p.det.Observe(metric, v)
+}
+
+// ObserveFrame feeds the frame's detection metrics — the three the default
+// production rules watch (active sessions, CPU, IOPS) — sample by sample
+// into the rolling state. Seconds already observed for this window must
+// not be fed twice; the usual pattern is one ObserveFrame on the sealed
+// window frame, or per-second ObserveSecond calls and no ObserveFrame.
+func (p *Perception) ObserveFrame(fr *window.Frame) {
+	p.det.ObserveSeries(anomaly.MetricActiveSession, fr.ActiveSession)
+	p.det.ObserveSeries(anomaly.MetricCPUUsage, fr.CPUUsage)
+	p.det.ObserveSeries(anomaly.MetricIOPSUsage, fr.IOPSUsage)
+}
+
+// Phenomena runs the Phenomenon Perception Layer over the features
+// detected from the current rolling state and returns the recognized
+// phenomena, merged, duration-filtered and deterministically ordered.
+func (p *Perception) Phenomena() []anomaly.Phenomenon {
+	return p.det.DetectPhenomena(p.rules)
+}

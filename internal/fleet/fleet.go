@@ -22,7 +22,6 @@ import (
 	"pinsql/internal/parallel"
 	"pinsql/internal/repair"
 	"pinsql/internal/sqltemplate"
-	"pinsql/internal/timeseries"
 	"pinsql/internal/workload"
 )
 
@@ -144,7 +143,6 @@ type Fleet struct {
 
 	pool   *parallel.Pool
 	broker *collect.Broker
-	det    *anomaly.Detector
 	mod    *repair.Module
 
 	// stages are the fleet-wide per-stage wall-clock summaries exported on
@@ -174,7 +172,6 @@ func New(specs []InstanceSpec, opt Options) (*Fleet, error) {
 		opt:    opt,
 		insts:  make(map[string]*instState, len(specs)),
 		broker: collect.NewBroker(),
-		det:    anomaly.NewDetector(anomaly.Config{}),
 		mod:    repair.New(repair.DefaultConfig(), repair.DefaultOptimizer()),
 	}
 	f.cond = sync.NewCond(&f.mu)
@@ -569,11 +566,9 @@ func (f *Fleet) diagnose(sw *stagedWindow) {
 	fr := sw.coll.Frame()
 	snap := collect.SnapshotOfFrame(fr)
 	start := time.Now()
-	phenomena := f.det.DetectPhenomena(map[string]timeseries.Series{
-		anomaly.MetricActiveSession: fr.ActiveSession,
-		anomaly.MetricCPUUsage:      fr.CPUUsage,
-		anomaly.MetricIOPSUsage:     fr.IOPSUsage,
-	}, anomaly.DefaultRules())
+	per := core.NewPerception(anomaly.Config{}, nil)
+	per.ObserveFrame(fr)
+	phenomena := per.Phenomena()
 	f.stages.detect.Observe(time.Since(start).Seconds())
 	start = time.Now()
 	defer func() { f.stages.diagnose.Observe(time.Since(start).Seconds()) }()

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package segment
+
+import "os"
+
+// Platforms without the unix mmap syscalls fall back to plain file reads;
+// every scan path works identically, just without the zero-copy mapping.
+func mmapFile(f *os.File) ([]byte, error) { return nil, errMmapUnavailable }
+
+func munmapFile(b []byte) error { return nil }

@@ -1,0 +1,27 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only. The segment layer only maps
+// sealed, immutable files, so a shared read-only mapping is safe: nothing
+// writes to a .seg after the rename that created it, and TTL expiry
+// unmaps before unlinking.
+func mmapFile(f *os.File) ([]byte, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, errMmapUnavailable
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -3,6 +3,7 @@ package segment
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,11 @@ import (
 
 	"pinsql/internal/logstore"
 )
+
+// errMmapUnavailable marks a file that cannot be memory-mapped (empty,
+// oversized for the address space, or an unsupported platform); callers
+// fall back to plain reads.
+var errMmapUnavailable = errors.New("segment: mmap unavailable")
 
 // Sealed segment file layout:
 //
@@ -42,9 +48,14 @@ type indexEntry struct {
 
 // segfile is an immutable, arrival-sorted segment on disk plus its
 // in-memory metadata. The sparse index is rebuilt from the frames at Open.
+// When the platform supports it (and Options.DisableMmap is off) the file
+// is memory-mapped: scans decode straight out of the mapping with no read
+// syscalls, no bufio staging buffer, and — at open — no whole-file heap
+// copy for CRC verification.
 type segfile struct {
 	path  string
 	f     *os.File
+	data  []byte // read-only mmap of the whole file; nil in fallback mode
 	seq   uint64
 	count int // records physically in the file
 	live  int // records at/after the topic's TTL watermark
@@ -53,13 +64,24 @@ type segfile struct {
 	index []indexEntry
 }
 
+// mapIfEnabled tries to memory-map sf.f; any failure leaves the segment in
+// plain-read mode, which every scan path handles identically.
+func (sf *segfile) mapIfEnabled(disableMmap bool) {
+	if disableMmap || sf.f == nil {
+		return
+	}
+	if m, err := mmapFile(sf.f); err == nil {
+		sf.data = m
+	}
+}
+
 func segName(seq uint64) string { return fmt.Sprintf("%08d.seg", seq) }
 func walName(seq uint64) string { return fmt.Sprintf("%08d.wal", seq) }
 
 // writeSegment seals recs (already arrival-sorted) into an immutable
 // segment file at dir/segName(seq), building the sparse index as it goes.
 // The file is written to a temporary name, synced, and renamed into place.
-func writeSegment(dir string, seq uint64, recs []logstore.Record, indexEvery int) (*segfile, error) {
+func writeSegment(dir string, seq uint64, recs []logstore.Record, indexEvery int, disableMmap bool) (*segfile, error) {
 	sf := &segfile{
 		path:  filepath.Join(dir, segName(seq)),
 		seq:   seq,
@@ -119,31 +141,45 @@ func writeSegment(dir string, seq uint64, recs []logstore.Record, indexEvery int
 	if sf.f, err = os.Open(sf.path); err != nil {
 		return nil, err
 	}
+	sf.mapIfEnabled(disableMmap)
 	return sf, nil
 }
 
 // openSegment reads a sealed segment, verifying every frame's CRC and
 // rebuilding the sparse index. A clean prefix of a damaged segment is kept
 // (count and maxMs shrink to what decoded intact); a segment whose magic
-// or header is unreadable is reported as an error.
-func openSegment(path string, seq uint64, indexEvery int) (*segfile, error) {
-	data, err := os.ReadFile(path)
+// or header is unreadable is reported as an error. With mmap available the
+// verification pass runs over the mapping directly — the fallback pays one
+// whole-file heap copy via os.ReadFile.
+func openSegment(path string, seq uint64, indexEvery int, disableMmap bool) (*segfile, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
+	sf := &segfile{path: path, f: f, seq: seq}
+	sf.mapIfEnabled(disableMmap)
+	data := sf.data
+	if data == nil {
+		if data, err = os.ReadFile(path); err != nil {
+			sf.close()
+			return nil, err
+		}
+	}
 	if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+		sf.close()
 		return nil, fmt.Errorf("segment: %s: bad magic", path)
 	}
 	hdr, off, err := nextFrame(data, len(segMagic))
 	if err != nil {
+		sf.close()
 		return nil, fmt.Errorf("segment: %s: unreadable header", path)
 	}
 	version, n := binary.Uvarint(hdr)
 	if n <= 0 || version != formatVersion {
+		sf.close()
 		return nil, fmt.Errorf("segment: %s: unsupported version %d", path, version)
 	}
 
-	sf := &segfile{path: path, seq: seq}
 	prev := int64(0)
 	for off < len(data) {
 		payload, next, ferr := nextFrame(data, off)
@@ -171,16 +207,18 @@ func openSegment(path string, seq uint64, indexEvery int) (*segfile, error) {
 		off = next
 	}
 	if sf.count == 0 {
+		sf.close()
 		return nil, fmt.Errorf("segment: %s: no intact records", path)
 	}
 	sf.live = sf.count
-	if sf.f, err = os.Open(path); err != nil {
-		return nil, err
-	}
 	return sf, nil
 }
 
 func (sf *segfile) close() {
+	if sf.data != nil {
+		munmapFile(sf.data)
+		sf.data = nil
+	}
 	if sf.f != nil {
 		sf.f.Close()
 		sf.f = nil
@@ -199,21 +237,32 @@ func (sf *segfile) startEntry(fromMs int64) indexEntry {
 }
 
 // iter streams a sealed segment's records in order from the sparse-index
-// point covering fromMs.
+// point covering fromMs. A mapped segment decodes zero-copy views straight
+// out of the mmap region (data non-nil); the fallback reads through a
+// bufio staging buffer over the file.
 type iter struct {
-	br   *bufio.Reader
+	// mapped mode
+	data []byte // whole-file mapping; nil selects file mode
+	off  int    // decode position within data
+
+	// file mode
+	br  *bufio.Reader
+	buf []byte
+
 	prev int64
 	left int // records remaining in the segment from the start entry
-	buf  []byte
 }
 
 func (sf *segfile) iterFrom(fromMs int64) *iter {
 	e := sf.startEntry(fromMs)
-	return &iter{
-		br:   bufio.NewReaderSize(io.NewSectionReader(sf.f, e.off, 1<<62), 32*1024),
-		prev: e.prevMs,
-		left: sf.count - e.recIdx,
+	it := &iter{prev: e.prevMs, left: sf.count - e.recIdx}
+	if sf.data != nil {
+		it.data = sf.data
+		it.off = int(e.off)
+	} else {
+		it.br = bufio.NewReaderSize(io.NewSectionReader(sf.f, e.off, 1<<62), 32*1024)
 	}
+	return it
 }
 
 // next decodes the next record; ok is false at the end of the segment.
@@ -223,21 +272,43 @@ func (it *iter) next() (logstore.Record, bool) {
 	if it.left <= 0 {
 		return logstore.Record{}, false
 	}
-	ln, err := binary.ReadUvarint(it.br)
-	if err != nil || ln == 0 || ln > maxFrameLen {
-		it.left = 0
-		return logstore.Record{}, false
+	var payload []byte
+	if it.data != nil {
+		// Zero-copy: the payload view aliases the mapping; no syscalls,
+		// no staging copy. The CRC was verified at open (or the frame was
+		// just written by this process), so it is not re-checked here —
+		// exactly the file path's contract.
+		ln, n := binary.Uvarint(it.data[it.off:])
+		if n <= 0 || ln == 0 || ln > maxFrameLen {
+			it.left = 0
+			return logstore.Record{}, false
+		}
+		start := it.off + n
+		end := start + int(ln)
+		if end+4 > len(it.data) {
+			it.left = 0
+			return logstore.Record{}, false
+		}
+		payload = it.data[start:end]
+		it.off = end + 4
+	} else {
+		ln, err := binary.ReadUvarint(it.br)
+		if err != nil || ln == 0 || ln > maxFrameLen {
+			it.left = 0
+			return logstore.Record{}, false
+		}
+		need := int(ln) + 4
+		if cap(it.buf) < need {
+			it.buf = make([]byte, need)
+		}
+		it.buf = it.buf[:need]
+		if _, err := io.ReadFull(it.br, it.buf); err != nil {
+			it.left = 0
+			return logstore.Record{}, false
+		}
+		payload = it.buf[:ln]
 	}
-	need := int(ln) + 4
-	if cap(it.buf) < need {
-		it.buf = make([]byte, need)
-	}
-	it.buf = it.buf[:need]
-	if _, err := io.ReadFull(it.br, it.buf); err != nil {
-		it.left = 0
-		return logstore.Record{}, false
-	}
-	rec, err := decodeRecord(it.buf[:ln], it.prev)
+	rec, err := decodeRecord(payload, it.prev)
 	if err != nil {
 		it.left = 0
 		return logstore.Record{}, false
@@ -257,11 +328,7 @@ func (sf *segfile) countBefore(cutoff int64) int {
 		return sf.count
 	}
 	e := sf.startEntry(cutoff)
-	it := &iter{
-		br:   bufio.NewReaderSize(io.NewSectionReader(sf.f, e.off, 1<<62), 32*1024),
-		prev: e.prevMs,
-		left: sf.count - e.recIdx,
-	}
+	it := sf.iterFrom(cutoff)
 	n := e.recIdx
 	for {
 		rec, ok := it.next()

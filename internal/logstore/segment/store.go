@@ -38,6 +38,12 @@ type Options struct {
 	// safe against a *process* crash — frames reach the OS page cache
 	// before Append returns — but not against losing the machine.
 	SyncEvery int
+	// DisableMmap forces sealed-segment scans onto the plain file-read
+	// path even where memory-mapping is available. The default (off)
+	// memory-maps every sealed segment so scans decode zero-copy views
+	// straight out of the page cache; the two paths produce identical
+	// results.
+	DisableMmap bool
 }
 
 func (o Options) withDefaults() Options {
@@ -185,7 +191,7 @@ func (s *Store) recoverTopic(name, dir string) (*topic, error) {
 			if perr != nil {
 				continue
 			}
-			sf, oerr := openSegment(filepath.Join(dir, base), seq, s.opt.IndexEvery)
+			sf, oerr := openSegment(filepath.Join(dir, base), seq, s.opt.IndexEvery, s.opt.DisableMmap)
 			if oerr != nil {
 				continue // unreadable segment: leave the file, skip it
 			}
@@ -473,7 +479,7 @@ func (s *Store) seal(t *topic) error {
 		return nil
 	}
 	t.ensureSorted()
-	sf, err := writeSegment(t.dir, t.seq, t.mem, s.opt.IndexEvery)
+	sf, err := writeSegment(t.dir, t.seq, t.mem, s.opt.IndexEvery, s.opt.DisableMmap)
 	if err != nil {
 		return err
 	}
@@ -759,7 +765,7 @@ func (s *Store) TruncateFrom(topicName string, fromMs int64) int {
 				os.Remove(sf.path)
 				continue
 			}
-			nsf, err := writeSegment(t.dir, sf.seq, survivors, s.opt.IndexEvery)
+			nsf, err := writeSegment(t.dir, sf.seq, survivors, s.opt.IndexEvery, s.opt.DisableMmap)
 			if err != nil {
 				// Disk trouble: stay correct in memory by folding the
 				// survivors into the active wal; durability is degraded

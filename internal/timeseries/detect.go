@@ -66,6 +66,18 @@ func (s Series) HasUpperAnomaly(k float64, lo, hi int) bool {
 	return false
 }
 
+// RobustScale returns the MAD-based robust scale estimate (MAD times the
+// 1.4826 consistency constant for normal data), falling back to the
+// standard deviation when the MAD is zero. Both the batch and the rolling
+// detector paths derive their z-score denominators through this rule.
+func (s Series) RobustScale() float64 {
+	scale := s.MAD() * 1.4826
+	if scale == 0 {
+		scale = s.Std()
+	}
+	return scale
+}
+
 // RobustZScores returns per-point robust z-scores based on the median and
 // MAD (scaled by the 1.4826 consistency constant for normal data). A zero
 // MAD falls back to the standard deviation; if that is also zero the scores
@@ -76,10 +88,7 @@ func (s Series) RobustZScores() Series {
 		return out
 	}
 	med := s.Median()
-	scale := s.MAD() * 1.4826
-	if scale == 0 {
-		scale = s.Std()
-	}
+	scale := s.RobustScale()
 	if scale == 0 {
 		return out
 	}
@@ -110,7 +119,24 @@ type Spike struct {
 // directions are split. This is the "spike up/down" anomalous feature of the
 // Basic Perception Layer (§IV-B).
 func (s Series) DetectSpikes(threshold float64) []Spike {
-	z := s.RobustZScores()
+	if len(s) == 0 {
+		return nil
+	}
+	return s.DetectSpikesScaled(threshold, s.Median(), s.RobustScale())
+}
+
+// DetectSpikesScaled is DetectSpikes with the median and robust scale
+// supplied by the caller — the rolling detector maintains both
+// incrementally and must reproduce the batch result bit-for-bit, so the
+// run scan is shared. A zero scale yields no spikes, matching the all-zero
+// z-scores of the batch path.
+func (s Series) DetectSpikesScaled(threshold, med, scale float64) []Spike {
+	z := make(Series, len(s))
+	if scale != 0 {
+		for i, v := range s {
+			z[i] = (v - med) / scale
+		}
+	}
 	var spikes []Spike
 	i := 0
 	for i < len(z) {
@@ -166,9 +192,16 @@ func (s Series) DetectLevelShifts(window int, threshold float64) []LevelShift {
 	for i := 1; i < len(s); i++ {
 		diff[i-1] = s[i] - s[i-1]
 	}
-	scale := diff.MAD() * 1.4826
-	if scale == 0 {
-		scale = diff.Std()
+	return s.DetectLevelShiftsScaled(window, threshold, diff.RobustScale())
+}
+
+// DetectLevelShiftsScaled is DetectLevelShifts with the first-difference
+// robust scale supplied by the caller (the rolling detector maintains it
+// incrementally); the windowed-mean scan is shared so the two paths agree
+// bit-for-bit.
+func (s Series) DetectLevelShiftsScaled(window int, threshold, scale float64) []LevelShift {
+	if window <= 0 || len(s) < 2*window {
+		return nil
 	}
 	if scale == 0 {
 		return nil

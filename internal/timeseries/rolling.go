@@ -1,0 +1,254 @@
+package timeseries
+
+import (
+	"math"
+	"sort"
+)
+
+// Rolling maintains the order statistics of a growing series under append:
+// median, arbitrary quantiles, the median absolute deviation and Tukey's
+// fences, each available at any point without re-sorting the window. It is
+// the incremental engine behind the Basic Perception Layer's per-second
+// updates: a batch detector pays an O(n log n) sort per query, a Rolling
+// pays O(log n + C) per append (C the chunk size) and answers order
+// statistics by merging at most two sorted runs.
+//
+// Determinism contract: every statistic is bit-identical (math.Float64bits)
+// to the batch reference on the same finite values — Quantile to
+// Series.Quantile, Median to Series.Median, MAD to Series.MAD, TukeyBounds
+// to Series.TukeyBounds. The rolling detector path must never change a
+// diagnosis byte, so the interpolation formulas below mirror series.go
+// exactly and the deviation merge in MAD reproduces the sorted deviation
+// array element-for-element (IEEE 754 subtraction is sign-symmetric, so
+// med-v equals math.Abs(v-med) bitwise for finite inputs). NaN values are
+// outside the contract, as they are for the batch sort.
+type Rolling struct {
+	// chunks holds the observed values as a sequence of sorted runs:
+	// every element of chunks[i] is ≤ every element of chunks[i+1], and
+	// each run stays within [1, 2*rollingChunk) elements. Insertion cost
+	// is a binary search over run boundaries plus one bounded memmove.
+	chunks [][]float64
+	n      int
+}
+
+// rollingChunk is the target sorted-run length: runs split at twice this.
+// 256 keeps the per-append memmove under two cache lines' worth of
+// float64s while keeping the run count (and thus rank-walk cost) at n/256.
+const rollingChunk = 256
+
+// NewRolling returns an empty rolling-statistics accumulator.
+func NewRolling() *Rolling { return &Rolling{} }
+
+// Len returns the number of appended observations.
+func (r *Rolling) Len() int { return r.n }
+
+// Append adds one observation.
+func (r *Rolling) Append(v float64) {
+	r.n++
+	if len(r.chunks) == 0 {
+		c := make([]float64, 1, rollingChunk)
+		c[0] = v
+		r.chunks = append(r.chunks, c)
+		return
+	}
+	// First chunk whose last element is ≥ v; v beyond every chunk goes
+	// into the last one.
+	ci := sort.Search(len(r.chunks), func(i int) bool {
+		c := r.chunks[i]
+		return c[len(c)-1] >= v
+	})
+	if ci == len(r.chunks) {
+		ci--
+	}
+	c := r.chunks[ci]
+	i := sort.SearchFloat64s(c, v)
+	c = append(c, 0)
+	copy(c[i+1:], c[i:])
+	c[i] = v
+	if len(c) < 2*rollingChunk {
+		r.chunks[ci] = c
+		return
+	}
+	// Split the run in two to bound the next memmove.
+	mid := len(c) / 2
+	right := make([]float64, len(c)-mid, rollingChunk*2)
+	copy(right, c[mid:])
+	r.chunks[ci] = c[:mid]
+	r.chunks = append(r.chunks, nil)
+	copy(r.chunks[ci+2:], r.chunks[ci+1:])
+	r.chunks[ci+1] = right
+}
+
+// AppendAll adds every observation of s in order.
+func (r *Rolling) AppendAll(s Series) {
+	for _, v := range s {
+		r.Append(v)
+	}
+}
+
+// at returns the k-th smallest observation (0-based). k must be in [0, n).
+func (r *Rolling) at(k int) float64 {
+	for _, c := range r.chunks {
+		if k < len(c) {
+			return c[k]
+		}
+		k -= len(c)
+	}
+	panic("timeseries: Rolling rank out of range")
+}
+
+// rankGE returns the number of observations strictly below v — the rank of
+// the first observation ≥ v in sorted order.
+func (r *Rolling) rankGE(v float64) int {
+	rank := 0
+	for _, c := range r.chunks {
+		if c[len(c)-1] < v {
+			rank += len(c)
+			continue
+		}
+		return rank + sort.SearchFloat64s(c, v)
+	}
+	return rank
+}
+
+// Quantile returns the q-th quantile with linear interpolation between
+// closest ranks, bit-identical to Series.Quantile over the same values. It
+// returns 0 when empty.
+func (r *Rolling) Quantile(q float64) float64 {
+	if r.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return r.at(0)
+	}
+	if q >= 1 {
+		return r.at(r.n - 1)
+	}
+	pos := q * float64(r.n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return r.at(lo)
+	}
+	frac := pos - float64(lo)
+	return r.at(lo)*(1-frac) + r.at(hi)*frac
+}
+
+// Median returns the 0.5 quantile.
+func (r *Rolling) Median() float64 { return r.Quantile(0.5) }
+
+// TukeyBounds returns Tukey's outlier fences with multiplier k,
+// bit-identical to Series.TukeyBounds.
+func (r *Rolling) TukeyBounds(k float64) (lo, hi float64) {
+	q1 := r.Quantile(0.25)
+	q3 := r.Quantile(0.75)
+	iqr := q3 - q1
+	return q1 - k*iqr, q3 + k*iqr
+}
+
+// cursor walks the chunked sorted order from a starting rank, forward or
+// backward, in O(1) amortized per step.
+type cursor struct {
+	r  *Rolling
+	ci int
+	i  int
+}
+
+// newCursor positions a cursor at the given sorted rank. The rank may be -1
+// (before the first element) or n (past the last); valid() is false there.
+func (r *Rolling) newCursor(rank int) cursor {
+	c := cursor{r: r}
+	if rank < 0 {
+		c.ci, c.i = -1, 0
+		return c
+	}
+	for c.ci = 0; c.ci < len(r.chunks); c.ci++ {
+		if rank < len(r.chunks[c.ci]) {
+			c.i = rank
+			return c
+		}
+		rank -= len(r.chunks[c.ci])
+	}
+	c.i = 0 // ci == len(chunks): past the end
+	return c
+}
+
+func (c *cursor) valid() bool { return c.ci >= 0 && c.ci < len(c.r.chunks) }
+
+func (c *cursor) value() float64 { return c.r.chunks[c.ci][c.i] }
+
+func (c *cursor) advance() {
+	c.i++
+	if c.i >= len(c.r.chunks[c.ci]) {
+		c.ci++
+		c.i = 0
+	}
+}
+
+func (c *cursor) retreat() {
+	c.i--
+	if c.i < 0 {
+		c.ci--
+		if c.ci >= 0 {
+			c.i = len(c.r.chunks[c.ci]) - 1
+		} else {
+			c.i = 0
+		}
+	}
+}
+
+// MAD returns the median absolute deviation from the median, bit-identical
+// to Series.MAD over the same values.
+//
+// The batch reference sorts the deviation array |v−med| and interpolates
+// its median. That sorted array is the ascending merge of two runs the
+// chunked order already contains: values below the median walked backward
+// (deviation med−v, increasing) and values at/above it walked forward
+// (deviation v−med, increasing). Selecting to the median rank through that
+// merge touches n/2+1 elements and allocates nothing.
+func (r *Rolling) MAD() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	med := r.Median()
+	split := r.rankGE(med)
+	back := r.newCursor(split - 1)
+	fwd := r.newCursor(split)
+
+	pos := 0.5 * float64(r.n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	var dLo, dHi float64
+	for k := 0; k <= hi; k++ {
+		var d float64
+		switch {
+		case back.valid() && fwd.valid():
+			bd := med - back.value()
+			fd := fwd.value() - med
+			if bd <= fd {
+				d = bd
+				back.retreat()
+			} else {
+				d = fd
+				fwd.advance()
+			}
+		case back.valid():
+			d = med - back.value()
+			back.retreat()
+		default:
+			d = fwd.value() - med
+			fwd.advance()
+		}
+		if k == lo {
+			dLo = d
+		}
+		if k == hi {
+			dHi = d
+		}
+	}
+	if lo == hi {
+		return dLo
+	}
+	frac := pos - float64(lo)
+	return dLo*(1-frac) + dHi*frac
+}

@@ -1,0 +1,133 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// rollingInputs builds adversarial value streams for the differential
+// tests: duplicates, constants, monotone runs, sign changes and scales
+// spanning many orders of magnitude.
+func rollingInputs(rng *rand.Rand, n int) map[string]Series {
+	uniform := make(Series, n)
+	ints := make(Series, n)
+	constant := make(Series, n)
+	sortedUp := make(Series, n)
+	sortedDown := make(Series, n)
+	sawtooth := make(Series, n)
+	wide := make(Series, n)
+	for i := 0; i < n; i++ {
+		uniform[i] = rng.NormFloat64() * 37.5
+		ints[i] = float64(rng.Intn(7) - 3)
+		constant[i] = 42.25
+		sortedUp[i] = float64(i) * 0.125
+		sortedDown[i] = float64(n-i) * 0.125
+		sawtooth[i] = float64(i%13) - 6
+		wide[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(13)-6))
+	}
+	return map[string]Series{
+		"uniform": uniform, "ints": ints, "constant": constant,
+		"sorted_up": sortedUp, "sorted_down": sortedDown,
+		"sawtooth": sawtooth, "wide": wide,
+	}
+}
+
+// TestRollingMatchesBatchBitwise pins the determinism contract: at every
+// prefix length, every rolling statistic is bit-identical to the batch
+// Series reference computed over the same prefix.
+func TestRollingMatchesBatchBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	quantiles := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1}
+	for name, s := range rollingInputs(rng, 600) {
+		r := NewRolling()
+		for i, v := range s {
+			r.Append(v)
+			prefix := s[:i+1]
+			if r.Len() != len(prefix) {
+				t.Fatalf("%s[:%d]: Len = %d", name, i+1, r.Len())
+			}
+			for _, q := range quantiles {
+				got, want := r.Quantile(q), prefix.Quantile(q)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s[:%d]: Quantile(%g) = %v, batch %v", name, i+1, q, got, want)
+				}
+			}
+			if got, want := r.Median(), prefix.Median(); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s[:%d]: Median = %v, batch %v", name, i+1, got, want)
+			}
+			if got, want := r.MAD(), prefix.MAD(); math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("%s[:%d]: MAD = %v, batch %v", name, i+1, got, want)
+			}
+			for _, k := range []float64{1.5, 3} {
+				gl, gh := r.TukeyBounds(k)
+				wl, wh := prefix.TukeyBounds(k)
+				if math.Float64bits(gl) != math.Float64bits(wl) || math.Float64bits(gh) != math.Float64bits(wh) {
+					t.Fatalf("%s[:%d]: TukeyBounds(%g) = (%v,%v), batch (%v,%v)", name, i+1, k, gl, gh, wl, wh)
+				}
+			}
+		}
+	}
+}
+
+// TestRollingChunkSplit forces many run splits and checks the statistics
+// survive them (large n crosses the 2*rollingChunk split threshold many
+// times over).
+func TestRollingChunkSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 8 * rollingChunk
+	s := make(Series, n)
+	for i := range s {
+		s[i] = rng.Float64()*200 - 100
+	}
+	r := NewRolling()
+	r.AppendAll(s)
+	if r.Len() != n {
+		t.Fatalf("Len = %d, want %d", r.Len(), n)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got, want := r.Quantile(q), s.Quantile(q); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("Quantile(%g) = %v, batch %v", q, got, want)
+		}
+	}
+	if got, want := r.MAD(), s.MAD(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("MAD = %v, batch %v", got, want)
+	}
+	for _, c := range r.chunks {
+		if len(c) == 0 || len(c) >= 2*rollingChunk {
+			t.Fatalf("chunk length %d outside [1, %d)", len(c), 2*rollingChunk)
+		}
+	}
+}
+
+// TestRollingEmpty pins the empty-accumulator conventions to the batch
+// ones: zero quantiles and MAD, and the degenerate Tukey fences.
+func TestRollingEmpty(t *testing.T) {
+	r := NewRolling()
+	if r.Len() != 0 || r.Quantile(0.5) != 0 || r.MAD() != 0 {
+		t.Fatalf("empty Rolling not zero-valued: len=%d med=%v mad=%v", r.Len(), r.Quantile(0.5), r.MAD())
+	}
+	gl, gh := r.TukeyBounds(1.5)
+	wl, wh := Series{}.TukeyBounds(1.5)
+	if gl != wl || gh != wh {
+		t.Fatalf("empty TukeyBounds = (%v,%v), batch (%v,%v)", gl, gh, wl, wh)
+	}
+}
+
+func BenchmarkRollingAppendMedianMAD(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 3600)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 25
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewRolling()
+		for _, v := range vals {
+			r.Append(v)
+		}
+		_ = r.Median()
+		_ = r.MAD()
+	}
+}

@@ -130,6 +130,18 @@ func (f *Frame) Finalize() {
 		panic("window: Off must have NumTemplates+1 entries")
 	}
 	f.sortGroups()
+	f.FinalizeSorted()
+}
+
+// FinalizeSorted computes the derived state (ByID, the ID→position index)
+// for a builder that guarantees every observation group is already sorted
+// by arrival with insertion-order ties — the incremental frame build sorts
+// only the dirty groups itself via SortObsGroup. The frame must not be
+// mutated afterwards.
+func (f *Frame) FinalizeSorted() {
+	if len(f.Off) != len(f.Templates)+1 {
+		panic("window: Off must have NumTemplates+1 entries")
+	}
 	f.ByID = make([]int32, len(f.Templates))
 	for i := range f.ByID {
 		f.ByID[i] = int32(i)
@@ -140,6 +152,41 @@ func (f *Frame) Finalize() {
 	f.posByID = make(map[sqltemplate.ID]int32, len(f.Templates))
 	for i := range f.Templates {
 		f.posByID[f.Templates[i].Meta.ID] = int32(i)
+	}
+}
+
+// FinalizeShared adopts the derived state of a previous frame over the
+// same template set (identical IDs in identical positions): ByID and the
+// ID index are order-only structures, so a delta build that did not add or
+// remove templates reuses them without recomputation. Frames are immutable
+// once finalized, making the sharing safe. Observation groups must already
+// be sorted, as for FinalizeSorted.
+func (f *Frame) FinalizeShared(prev *Frame) {
+	if len(prev.Templates) != len(f.Templates) {
+		panic("window: FinalizeShared across different template sets")
+	}
+	f.ByID = prev.ByID
+	f.posByID = prev.posByID
+}
+
+// SortObsGroup stable-sorts one observation group by arrival time with
+// ties in insertion order — the exact per-group ordering Finalize
+// establishes. Incremental builders call it on dirty groups only.
+func SortObsGroup(arrival []int64, response []float64) {
+	n := len(arrival)
+	if n < 2 || sorted(arrival) {
+		return
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	sort.SliceStable(perm, func(i, j int) bool { return arrival[perm[i]] < arrival[perm[j]] })
+	scratchA := append([]int64(nil), arrival...)
+	scratchR := append([]float64(nil), response...)
+	for i, p := range perm {
+		arrival[i] = scratchA[p]
+		response[i] = scratchR[p]
 	}
 }
 
