@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz-smoke fuzz-search test-corpus bench-parallel bench-logstore bench-gen bench-fleet bench-diagnose bench-incremental bench-ingest smoke-serve clean
+.PHONY: all build test race vet fuzz-smoke fuzz-search test-corpus bench-parallel bench-logstore bench-gen bench-fleet bench-fleet-scale bench-diagnose bench-incremental bench-ingest smoke-serve clean
 
 all: build vet test
 
@@ -69,11 +69,20 @@ bench-logstore:
 bench-gen:
 	$(GO) run ./cmd/pinsql-bench -exp gen -small -seed 3
 
-# Fleet throughput sweep: instance counts × scheduler workers through the
-# full multi-instance monitoring pipeline (windows/sec, shed rate, peak
-# queue depth). Writes BENCH_fleet.json.
+# Fleet throughput sweep: instance counts × (shards × workers) through
+# the full multi-instance monitoring pipeline (windows/sec, shard
+# speedup, shed rate, peak queue depth), with a built-in cross-shard
+# determinism gate — the run exits non-zero if any cell's fleet report
+# diverges from its instance count's unsharded baseline. Writes
+# BENCH_fleet.json.
 bench-fleet:
 	$(GO) run ./cmd/pinsql-bench -exp fleet -small -seed 3
+
+# The 128-instance scale gate alone (same sweep and divergence checks as
+# bench-fleet at CI-sized parameters; kept as a named target so CI
+# failures point at cross-shard determinism directly). Writes no file.
+bench-fleet-scale:
+	$(GO) run ./cmd/pinsql-bench -exp fleet -small -seed 5 -fleet-out ""
 
 # Diagnosis-path comparison: the columnar window frame vs the legacy
 # map-keyed path (windows/sec, allocs/op, bytes/op) with a built-in

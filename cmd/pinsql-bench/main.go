@@ -49,7 +49,7 @@ func realMain() (code int) {
 		corpusDir  = flag.String("corpus-dir", "", "directory the fuzz search writes repro bundles into (empty = none)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
-		profDir    = flag.String("cpuprofile-dir", "", "for -exp fleet: write one CPU profile per sweep cell (fleet_i<N>_w<W>.pprof) into this directory")
+		profDir    = flag.String("cpuprofile-dir", "", "for -exp fleet: write one CPU profile per sweep cell (fleet_i<N>_s<K>_w<W>.pprof) into this directory")
 	)
 	flag.Parse()
 
@@ -233,6 +233,9 @@ func realMain() (code int) {
 						return nil, err
 					}
 					fmt.Printf("[fleet report written to %s]\n", *fleetOut)
+				}
+				if !res.Identical {
+					return nil, fmt.Errorf("cross-shard divergence: some sweep cells produced a different fleet report than their instance count's baseline")
 				}
 				return wrapped{res}, nil
 			})

@@ -24,6 +24,14 @@
 // diagnosed and committed, durable topics are sealed, and the process
 // exits 0.
 //
+// With -shards K the fleet is hash-partitioned across K fully independent
+// scheduler/store shards — each with its own worker pool, its own durable
+// stores under -data-dir/shard-<k>/, and its own group-committed window
+// journal — behind one aggregating control plane (GET /shards shows the
+// per-shard rollups). The report stays byte-identical for every shard
+// count; 0 picks GOMAXPROCS, and a durable layout pins the count it was
+// created with.
+//
 // With -ingest the daemon monitors a recorded trace instead of the
 // simulator: a MySQL slow query log, a pg_stat_activity-style wait-event
 // sample stream, or a pinsql trace file (gzip detected automatically,
@@ -54,6 +62,7 @@ import (
 
 	"pinsql/internal/fleet"
 	"pinsql/internal/ingest"
+	"pinsql/internal/shard"
 )
 
 func main() {
@@ -63,7 +72,8 @@ func main() {
 		windowSec  = flag.Int("window", 1200, "window length in simulated seconds")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		autoRepair = flag.Bool("auto-repair", false, "execute suggested repairing actions")
-		workers    = flag.Int("workers", 0, "scheduler worker pool (0 = GOMAXPROCS, 1 = sequential)")
+		shards     = flag.Int("shards", 1, "independent scheduler/store shards; instances are hash-partitioned across them (0 = GOMAXPROCS; a durable layout keeps the count it was created with)")
+		workers    = flag.Int("workers", 0, "total scheduler workers split across shards (0 = GOMAXPROCS, 1 = sequential)")
 		queueDepth = flag.Int("queue-depth", 8, "staged windows per instance before diagnosis shedding")
 		dataDir    = flag.String("data-dir", "", "directory for the durable per-instance stores (empty = in-memory)")
 		syncEvery  = flag.Int("sync-every", 0, "fsync the log-store wal every N records (0 = only at seal/close; process-crash safe either way)")
@@ -96,7 +106,8 @@ func main() {
 		}
 	}
 
-	opt := fleet.Options{
+	opt := shard.Options{
+		Shards:     *shards,
 		Workers:    *workers,
 		QueueDepth: *queueDepth,
 		DataDir:    *dataDir,
@@ -131,7 +142,7 @@ func (c ingestConfig) traceSpec(windows, windowSec int) fleet.InstanceSpec {
 	return spec
 }
 
-func run(instances, windows, windowSec int, seed int64, autoRepair bool, opt fleet.Options, serve string, ing ingestConfig) error {
+func run(instances, windows, windowSec int, seed int64, autoRepair bool, opt shard.Options, serve string, ing ingestConfig) error {
 	var specs []fleet.InstanceSpec
 	switch {
 	case ing.path != "":
@@ -164,22 +175,26 @@ func run(instances, windows, windowSec int, seed int64, autoRepair bool, opt fle
 		fmt.Println(line)
 	}
 
-	f, err := fleet.New(specs, opt)
+	m, err := shard.New(specs, opt)
 	if err != nil {
 		return err
 	}
-	for _, is := range f.Status().Instances {
+	if opt.Shards != 1 || m.Shards() != 1 {
+		fmt.Printf("fleet of %d instances across %d shards (%d workers total)\n",
+			len(specs), m.Shards(), m.Workers())
+	}
+	for _, is := range m.Status().Instances {
 		if is.Committed > 0 {
-			fmt.Printf("%s: recovered %d committed windows, resuming at window %d\n",
-				is.ID, is.Committed, is.Committed)
+			fmt.Printf("%s: recovered %d committed windows, resuming at window %d (shard %d)\n",
+				is.ID, is.Committed, is.Committed, is.Shard)
 		}
 	}
 
 	if serve == "" {
-		f.Start()
-		werr := f.Wait()
-		fmt.Print(f.Report())
-		if cerr := f.Close(); werr == nil {
+		m.Start()
+		werr := m.Wait()
+		fmt.Print(m.Report())
+		if cerr := m.Close(); werr == nil {
 			werr = cerr
 		}
 		return werr
@@ -187,22 +202,22 @@ func run(instances, windows, windowSec int, seed int64, autoRepair bool, opt fle
 
 	ln, err := net.Listen("tcp", serve)
 	if err != nil {
-		f.Close()
+		m.Close()
 		return err
 	}
-	srv := &http.Server{Handler: f.Handler()}
+	srv := &http.Server{Handler: m.Handler()}
 	go srv.Serve(ln)
-	fmt.Printf("control plane on http://%s (GET /fleet, /instances/{id}/diagnoses, /metrics, /debug/pprof/)\n", ln.Addr())
+	fmt.Printf("control plane on http://%s (GET /fleet, /shards, /instances/{id}/diagnoses, /metrics, /debug/pprof/)\n", ln.Addr())
 
-	f.Start()
+	m.Start()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	// Serve until asked to stop — a finished fleet keeps its control plane
 	// up so status, diagnoses, and metrics stay queryable.
 	s := <-sig
 	fmt.Printf("received %s, draining fleet\n", s)
-	werr := f.Stop()
-	fmt.Print(f.Report())
+	werr := m.Stop()
+	fmt.Print(m.Report())
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil && werr == nil {

@@ -2,14 +2,16 @@ package bench
 
 import (
 	"fmt"
+	"hash/fnv"
 	"os"
 	"path/filepath"
+	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
 	"pinsql/internal/fleet"
-	"pinsql/internal/parallel"
+	"pinsql/internal/shard"
 )
 
 // FleetBenchOptions configures the fleet-throughput sweep.
@@ -19,61 +21,77 @@ type FleetBenchOptions struct {
 	Small   bool // CI-sized: fewer/shorter windows, smaller sweep
 
 	// ProfileDir, when non-empty, writes one CPU profile per sweep cell
-	// as fleet_i<instances>_w<workers>.pprof under the directory
-	// (created if missing) — the investigation handle for worker-scaling
-	// regressions like the known 1→2 worker slowdown at 8 instances.
+	// as fleet_i<instances>_s<shards>_w<workers>.pprof under the
+	// directory (created if missing) — the investigation handle for
+	// scheduling regressions like the known 1→2 worker slowdown on a
+	// single-CPU host.
 	ProfileDir string
 }
 
-// FleetBenchRow is one (instances × workers) cell of the sweep.
+// FleetBenchRow is one (instances × shards × workers) cell of the sweep.
 type FleetBenchRow struct {
 	Instances     int     `json:"instances"`
-	Workers       int     `json:"workers"`
+	Shards        int     `json:"shards"`
+	Workers       int     `json:"workers"` // total across shards
 	Windows       int     `json:"windows"` // committed across the fleet
 	WallSec       float64 `json:"wall_sec"`
 	WindowsPerSec float64 `json:"windows_per_sec"`
-	// ScalingEfficiency is windows/sec per worker relative to the same
-	// instance count's 1-worker cell: 1.0 is perfect linear scaling,
-	// below 1.0 the extra workers are partly idle or contending. Zero
-	// when the sweep has no 1-worker baseline for the instance count.
+	// ShardSpeedup is windows/sec relative to the same instance count's
+	// (shards=1, workers=1) cell — the headline sharding win. 1.0 on the
+	// baseline cell itself.
+	ShardSpeedup float64 `json:"shard_speedup"`
+	// ScalingEfficiency is ShardSpeedup per worker: 1.0 is perfect linear
+	// scaling, below 1.0 the extra workers are partly idle or contending.
+	// On a single-CPU host every multi-worker cell sits near 1/workers by
+	// construction — check GOMAXPROCS before reading this column.
 	ScalingEfficiency float64 `json:"scaling_efficiency"`
 	ShedRate          float64 `json:"shed_rate"` // shed windows / committed windows
 	PeakQueue         int     `json:"peak_queue"`
 	Records           int64   `json:"records"`
 	Dropped           int64   `json:"dropped"` // broker backpressure loss
+	// ReportHash fingerprints the fleet report (FNV-1a). Every cell with
+	// the same instance count must agree — the sweep doubles as the
+	// cross-shard determinism gate.
+	ReportHash string `json:"report_hash"`
+	Identical  bool   `json:"identical"` // report matched the instance count's first cell
 }
 
 // FleetBench is the document behind BENCH_fleet.json: how fleet throughput
-// scales with instance count and scheduler workers, and what the bounded
-// queues shed along the way.
+// scales with instance count, shard count, and scheduler workers, and what
+// the bounded queues shed along the way.
 type FleetBench struct {
-	WindowSec int             `json:"window_sec"`
-	Rows      []FleetBenchRow `json:"rows"`
+	WindowSec  int             `json:"window_sec"`
+	GOMAXPROCS int             `json:"gomaxprocs"` // scaling ceiling of the host the sweep ran on
+	Identical  bool            `json:"identical"`  // every cell's report matched its instance count's baseline
+	Rows       []FleetBenchRow `json:"rows"`
 }
 
-// RunFleetBench sweeps instance counts × scheduler worker counts over the
-// in-memory fleet and measures end-to-end monitoring throughput.
+// fleetCells is the (shards, workers) grid swept at each instance count;
+// cells with more shards than instances are skipped (an empty shard is
+// legal but measures nothing).
+var fleetCells = []struct{ shards, workers int }{
+	{1, 1}, // baseline: the unsharded sequential fleet
+	{1, 2}, // the known worker-scaling regression cell
+	{2, 2},
+	{8, 8},
+}
+
+// RunFleetBench sweeps instance counts × (shards × workers) over the
+// in-memory fleet and measures end-to-end monitoring throughput. Within
+// one instance count every cell must produce a byte-identical report —
+// a divergence sets Identical=false (and pinsql-bench exits non-zero).
 func RunFleetBench(opt FleetBenchOptions) (*FleetBench, error) {
-	instanceCounts := []int{1, 8, 64}
-	workerCounts := []int{1, 2, parallel.Resolve(0)}
+	instanceCounts := []int{1, 8, 64, 128}
 	windowSec := 300
 	windows := opt.Windows
 	if windows <= 0 {
 		windows = 3
 	}
 	if opt.Small {
-		instanceCounts = []int{1, 4, 8}
+		instanceCounts = []int{1, 8, 128}
 		windowSec = 120
 		if opt.Windows <= 0 {
 			windows = 2
-		}
-	}
-	seen := map[int]bool{}
-	workers := workerCounts[:0]
-	for _, w := range workerCounts {
-		if !seen[w] {
-			seen[w] = true
-			workers = append(workers, w)
 		}
 	}
 
@@ -83,71 +101,83 @@ func RunFleetBench(opt FleetBenchOptions) (*FleetBench, error) {
 		}
 	}
 
-	out := &FleetBench{WindowSec: windowSec}
+	out := &FleetBench{WindowSec: windowSec, GOMAXPROCS: runtime.GOMAXPROCS(0), Identical: true}
 	for _, n := range instanceCounts {
-		baseline := 0.0 // 1-worker windows/sec for this instance count
-		for _, w := range workers {
+		baseline := 0.0 // (shards=1, workers=1) windows/sec for this instance count
+		baseHash := ""  // report fingerprint every other cell must match
+		for _, cell := range fleetCells {
+			if cell.shards > n {
+				continue
+			}
 			specs := fleet.DefaultFleet(n, opt.Seed, windows, windowSec)
-			f, err := fleet.New(specs, fleet.Options{Workers: w, QueueDepth: 4})
+			m, err := shard.New(specs, shard.Options{Shards: cell.shards, Workers: cell.workers, QueueDepth: 4})
 			if err != nil {
 				return nil, err
 			}
 			var prof *os.File
 			if opt.ProfileDir != "" {
-				name := filepath.Join(opt.ProfileDir, fmt.Sprintf("fleet_i%d_w%d.pprof", n, w))
+				name := filepath.Join(opt.ProfileDir, fmt.Sprintf("fleet_i%d_s%d_w%d.pprof", n, cell.shards, cell.workers))
 				if prof, err = os.Create(name); err != nil {
-					f.Close()
+					m.Close()
 					return nil, err
 				}
 				if err := pprof.StartCPUProfile(prof); err != nil {
 					prof.Close()
-					f.Close()
+					m.Close()
 					return nil, err
 				}
 			}
 			start := time.Now()
-			f.Start()
-			if err := f.Wait(); err != nil {
+			m.Start()
+			if err := m.Wait(); err != nil {
 				if prof != nil {
 					pprof.StopCPUProfile()
 					prof.Close()
 				}
-				f.Close()
+				m.Close()
 				return nil, err
 			}
 			wall := time.Since(start).Seconds()
 			if prof != nil {
 				pprof.StopCPUProfile()
 				if err := prof.Close(); err != nil {
-					f.Close()
+					m.Close()
 					return nil, err
 				}
 			}
-			st := f.Status()
+			st := m.Status()
 			row := FleetBenchRow{
-				Instances: n,
-				Workers:   w,
-				Windows:   st.Committed,
-				WallSec:   wall,
-				ShedRate:  float64(st.Shed) / float64(max(st.Committed, 1)),
+				Instances:  n,
+				Shards:     cell.shards,
+				Workers:    m.Workers(),
+				Windows:    st.Committed,
+				WallSec:    wall,
+				ShedRate:   float64(st.Shed) / float64(max(st.Committed, 1)),
+				ReportHash: hashReport(m.Report()),
 			}
 			if wall > 0 {
 				row.WindowsPerSec = float64(st.Committed) / wall
 			}
-			if w == 1 {
+			if cell.shards == 1 && cell.workers == 1 {
 				baseline = row.WindowsPerSec
+				baseHash = row.ReportHash
 			}
-			if baseline > 0 && w > 0 {
-				row.ScalingEfficiency = row.WindowsPerSec / (baseline * float64(w))
+			if baseline > 0 {
+				row.ShardSpeedup = row.WindowsPerSec / baseline
+				if row.Workers > 0 {
+					row.ScalingEfficiency = row.ShardSpeedup / float64(row.Workers)
+				}
+			}
+			row.Identical = row.ReportHash == baseHash
+			if !row.Identical {
+				out.Identical = false
 			}
 			for _, is := range st.Instances {
-				if is.PeakQueue > row.PeakQueue {
-					row.PeakQueue = is.PeakQueue
-				}
+				row.PeakQueue = max(row.PeakQueue, is.PeakQueue)
 				row.Records += is.Records
 				row.Dropped += is.Dropped
 			}
-			if err := f.Close(); err != nil {
+			if err := m.Close(); err != nil {
 				return nil, err
 			}
 			out.Rows = append(out.Rows, row)
@@ -156,15 +186,26 @@ func RunFleetBench(opt FleetBenchOptions) (*FleetBench, error) {
 	return out, nil
 }
 
+// hashReport fingerprints a fleet report for the cross-shard determinism
+// gate (FNV-1a 64, matching the partition function's family).
+func hashReport(report string) string {
+	h := fnv.New64a()
+	h.Write([]byte(report))
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // Format renders the sweep as a table.
 func (b *FleetBench) Format() string {
 	var s strings.Builder
-	fmt.Fprintf(&s, "Fleet throughput sweep (%ds windows)\n", b.WindowSec)
-	s.WriteString("  instances  workers  windows   wall(s)  win/s   eff    shed%  peakQ   records  dropped\n")
+	fmt.Fprintf(&s, "Fleet throughput sweep (%ds windows, GOMAXPROCS=%d)\n", b.WindowSec, b.GOMAXPROCS)
+	s.WriteString("  instances  shards  workers  windows   wall(s)  win/s   spdup   eff    shed%  peakQ   records  dropped  identical\n")
 	for _, r := range b.Rows {
-		fmt.Fprintf(&s, "  %9d  %7d  %7d  %8.2f  %5.1f  %4.2f  %6.1f  %5d  %8d  %7d\n",
-			r.Instances, r.Workers, r.Windows, r.WallSec, r.WindowsPerSec,
-			r.ScalingEfficiency, r.ShedRate*100, r.PeakQueue, r.Records, r.Dropped)
+		fmt.Fprintf(&s, "  %9d  %6d  %7d  %7d  %8.2f  %5.1f  %6.2f  %4.2f  %6.1f  %5d  %8d  %7d  %9v\n",
+			r.Instances, r.Shards, r.Workers, r.Windows, r.WallSec, r.WindowsPerSec,
+			r.ShardSpeedup, r.ScalingEfficiency, r.ShedRate*100, r.PeakQueue, r.Records, r.Dropped, r.Identical)
+	}
+	if !b.Identical {
+		s.WriteString("  DIVERGENCE: some cells' reports differ from their instance count's baseline\n")
 	}
 	return s.String()
 }

@@ -63,18 +63,27 @@ type Options struct {
 	BrokerBuffer int
 
 	// Metrics receives the fleet's counters and gauges; nil creates a
-	// private registry (reachable via Fleet.Metrics).
+	// private registry (reachable via Fleet.Metrics). When several fleets
+	// share one registry (the shard manager), Labels keeps their series
+	// apart.
 	Metrics *obs.Registry
+
+	// Labels is appended to every series this fleet registers — the shard
+	// manager sets shard="k" so K shards can share one registry without
+	// colliding (and without sharing a stage-summary mutex across shards).
+	Labels []obs.Label
 
 	// OnCommit, if set, is called after every committed window (from a
 	// scheduler goroutine; keep it quick).
 	OnCommit func(id string, rep *WindowReport)
 
-	// crashAt is the crash-injection test hook: returning true at a
+	// CrashAt is the crash-injection test hook: returning true at a
 	// commit phase ("pre-append", "mid-append", "pre-journal",
 	// "post-journal") makes the fleet behave as if the process died
 	// there — all work stops and no file is flushed or closed cleanly.
-	crashAt func(id string, window int, phase string) bool
+	// Exported so the shard package's kill/restart tests can reach it;
+	// production code leaves it nil.
+	CrashAt func(id string, window int, phase string) bool
 }
 
 func (o Options) withDefaults() Options {
@@ -116,7 +125,6 @@ type instState struct {
 	registry *collect.Registry
 	store    logstore.Backend
 	seg      *segment.Store // non-nil in durable mode
-	journal  *os.File       // non-nil in durable mode
 
 	reports []*WindowReport // committed windows, len(reports) == next to commit
 
@@ -141,9 +149,10 @@ type Fleet struct {
 	insts map[string]*instState
 	ids   []string // sorted
 
-	pool   *parallel.Pool
-	broker *collect.Broker
-	mod    *repair.Module
+	pool    *parallel.Pool
+	broker  *collect.Broker
+	mod     *repair.Module
+	journal *journal // non-nil in durable mode: one group-committed file per fleet
 
 	// stages are the fleet-wide per-stage wall-clock summaries exported on
 	// /metrics as pinsql_stage_duration_seconds{stage=...}.
@@ -162,10 +171,11 @@ type Fleet struct {
 var errCrashed = errors.New("fleet: crash hook fired")
 
 // New builds a fleet over the specs, opening (and in -data-dir mode
-// recovering) every instance: the durable topic is truncated back to the
-// last journaled window boundary, the workload world is rebuilt by
-// replaying injections and executed repair actions of every committed
-// window, and monitoring resumes at the first uncommitted window.
+// recovering) every instance: the fleet journal is read once and split by
+// instance, every durable topic is truncated back to its last journaled
+// window boundary, the workload world is rebuilt by replaying injections
+// and executed repair actions of every committed window, and monitoring
+// resumes at the first uncommitted window.
 func New(specs []InstanceSpec, opt Options) (*Fleet, error) {
 	opt = opt.withDefaults()
 	f := &Fleet{
@@ -178,19 +188,40 @@ func New(specs []InstanceSpec, opt Options) (*Fleet, error) {
 	f.diagCfg = core.DefaultConfig()
 	f.diagCfg.Workers = opt.DiagnosisWorkers
 
+	withDefaults := make([]InstanceSpec, 0, len(specs))
+	windowMs := make(map[string]int64, len(specs))
 	for _, spec := range specs {
 		spec = spec.withDefaults()
 		if spec.ID == "" {
 			return nil, errors.New("fleet: instance spec without ID")
 		}
-		if _, dup := f.insts[spec.ID]; dup {
+		if _, dup := windowMs[spec.ID]; dup {
 			return nil, fmt.Errorf("fleet: duplicate instance ID %q", spec.ID)
 		}
+		if url.PathEscape(spec.ID) == journalFile {
+			return nil, fmt.Errorf("fleet: instance ID %q collides with the fleet journal file", spec.ID)
+		}
 		if spec.Trace != nil && spec.AutoRepair {
-			f.Close()
 			return nil, fmt.Errorf("fleet: instance %s: AutoRepair requires a simulator-backed spec (a recorded trace has no live database to act on)", spec.ID)
 		}
-		st, err := f.openInstance(spec)
+		windowMs[spec.ID] = int64(spec.WindowSec) * 1000
+		withDefaults = append(withDefaults, spec)
+	}
+
+	recovered := map[string][]*WindowReport{}
+	if opt.DataDir != "" {
+		if err := os.MkdirAll(opt.DataDir, 0o755); err != nil {
+			return nil, err
+		}
+		var err error
+		f.journal, recovered, err = openJournal(filepath.Join(opt.DataDir, journalFile), windowMs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for _, spec := range withDefaults {
+		st, err := f.openInstance(spec, recovered[spec.ID])
 		if err != nil {
 			f.Close()
 			return nil, fmt.Errorf("fleet: instance %s: %w", spec.ID, err)
@@ -203,10 +234,16 @@ func New(specs []InstanceSpec, opt Options) (*Fleet, error) {
 	return f, nil
 }
 
-// openInstance opens one instance's storage, recovers its committed
-// history, and rebuilds its world/simulator state.
-func (f *Fleet) openInstance(spec InstanceSpec) (*instState, error) {
-	st := &instState{spec: spec}
+// journalFile is the fleet journal's name inside DataDir. One file per
+// fleet — under the shard manager that is one independently recovering
+// journal per shard.
+const journalFile = "journal.jsonl"
+
+// openInstance opens one instance's storage, adopts its committed history
+// (recovered from the fleet journal), and rebuilds its world/simulator
+// state.
+func (f *Fleet) openInstance(spec InstanceSpec, reports []*WindowReport) (*instState, error) {
+	st := &instState{spec: spec, reports: reports}
 	windowMs := int64(spec.WindowSec) * 1000
 
 	if f.opt.DataDir == "" {
@@ -221,11 +258,6 @@ func (f *Fleet) openInstance(spec InstanceSpec) (*instState, error) {
 		st.seg = seg
 		st.store = seg
 		if st.registry, err = collect.OpenRegistry(seg); err != nil {
-			seg.Close()
-			return nil, err
-		}
-		st.journal, st.reports, err = readJournal(filepath.Join(dir, "journal.jsonl"), windowMs)
-		if err != nil {
 			seg.Close()
 			return nil, err
 		}
@@ -303,9 +335,12 @@ func (st *instState) closeStorage() {
 	if st.seg != nil {
 		st.seg.Close()
 	}
-	if st.journal != nil {
-		st.journal.Close()
-	}
+}
+
+// lbls appends the fleet's extra labels (e.g. the shard manager's
+// shard="k") to a series' own labels.
+func (f *Fleet) lbls(ls ...obs.Label) []obs.Label {
+	return append(ls, f.opt.Labels...)
 }
 
 // registerMetrics wires the fleet's counters and callback series into the
@@ -313,43 +348,43 @@ func (st *instState) closeStorage() {
 func (f *Fleet) registerMetrics() {
 	m := f.opt.Metrics
 	const stageHelp = "Wall-clock time spent per pipeline stage, fleet-wide."
-	f.stages.collect = m.Summary("pinsql_stage_duration_seconds", stageHelp, obs.L("stage", "collect"))
-	f.stages.detect = m.Summary("pinsql_stage_duration_seconds", stageHelp, obs.L("stage", "detect"))
-	f.stages.diagnose = m.Summary("pinsql_stage_duration_seconds", stageHelp, obs.L("stage", "diagnose"))
-	f.stages.commit = m.Summary("pinsql_stage_duration_seconds", stageHelp, obs.L("stage", "commit"))
+	f.stages.collect = m.Summary("pinsql_stage_duration_seconds", stageHelp, f.lbls(obs.L("stage", "collect"))...)
+	f.stages.detect = m.Summary("pinsql_stage_duration_seconds", stageHelp, f.lbls(obs.L("stage", "detect"))...)
+	f.stages.diagnose = m.Summary("pinsql_stage_duration_seconds", stageHelp, f.lbls(obs.L("stage", "diagnose"))...)
+	f.stages.commit = m.Summary("pinsql_stage_duration_seconds", stageHelp, f.lbls(obs.L("stage", "commit"))...)
 	for _, id := range f.ids {
 		st := f.insts[id]
 		lbl := obs.L("instance", id)
-		st.cWindows = m.Counter("pinsql_fleet_windows_total", "Monitoring windows committed.", lbl)
-		st.cAnomalies = m.Counter("pinsql_fleet_anomalies_total", "Anomaly phenomena diagnosed.", lbl)
-		st.cShed = m.Counter("pinsql_fleet_shed_windows_total", "Windows whose diagnosis was shed under backpressure.", lbl)
-		st.cRecords = m.Counter("pinsql_fleet_records_total", "Query-log records collected.", lbl)
+		st.cWindows = m.Counter("pinsql_fleet_windows_total", "Monitoring windows committed.", f.lbls(lbl)...)
+		st.cAnomalies = m.Counter("pinsql_fleet_anomalies_total", "Anomaly phenomena diagnosed.", f.lbls(lbl)...)
+		st.cShed = m.Counter("pinsql_fleet_shed_windows_total", "Windows whose diagnosis was shed under backpressure.", f.lbls(lbl)...)
+		st.cRecords = m.Counter("pinsql_fleet_records_total", "Query-log records collected.", f.lbls(lbl)...)
 		m.GaugeFunc("pinsql_fleet_queue_depth", "Staged windows awaiting diagnosis.", func() float64 {
 			f.mu.Lock()
 			defer f.mu.Unlock()
 			return float64(len(st.queue))
-		}, lbl)
+		}, f.lbls(lbl)...)
 		m.CounterFunc("pinsql_registry_raw_cache_hits_total", "Template-registry raw-SQL cache hits.", func() float64 {
 			h, _, _ := st.registry.RawCacheStats()
 			return float64(h)
-		}, lbl)
+		}, f.lbls(lbl)...)
 		m.CounterFunc("pinsql_registry_raw_cache_misses_total", "Template-registry raw-SQL cache misses.", func() float64 {
 			_, miss, _ := st.registry.RawCacheStats()
 			return float64(miss)
-		}, lbl)
+		}, f.lbls(lbl)...)
 		m.CounterFunc("pinsql_ingest_records_total", "Trace records delivered into the monitoring pipeline.", func() float64 {
 			return float64(st.play.Stats().Records)
-		}, lbl)
+		}, f.lbls(lbl)...)
 		m.CounterFunc("pinsql_ingest_parse_errors_total", "Malformed trace inputs counted and skipped by the source chain.", func() float64 {
 			return float64(st.play.Stats().ParseErrors)
-		}, lbl)
+		}, f.lbls(lbl)...)
 		m.GaugeFunc("pinsql_ingest_lag_seconds", "Known trace end minus the replay playhead.", func() float64 {
 			return st.play.Stats().LagSeconds
-		}, lbl)
+		}, f.lbls(lbl)...)
 		id := id
 		m.CounterFunc("pinsql_broker_dropped_total", "Records dropped by the broker under backpressure.", func() float64 {
 			return float64(f.broker.Dropped(id))
-		}, obs.L("topic", id))
+		}, f.lbls(obs.L("topic", id))...)
 	}
 }
 
@@ -594,7 +629,7 @@ func (f *Fleet) diagnose(sw *stagedWindow) {
 
 // crash consults the crash-injection hook.
 func (f *Fleet) crash(id string, window int, phase string) bool {
-	return f.opt.crashAt != nil && f.opt.crashAt(id, window, phase)
+	return f.opt.CrashAt != nil && f.opt.CrashAt(id, window, phase)
 }
 
 // commit makes one window durable and applies its repairs, strictly in
@@ -674,8 +709,8 @@ func (f *Fleet) commit(st *instState, sw *stagedWindow) error {
 	if f.crash(id, sw.window, "pre-journal") {
 		return errCrashed
 	}
-	if st.journal != nil {
-		if err := appendJournal(st.journal, sw.rep); err != nil {
+	if f.journal != nil {
+		if err := f.journal.Append(id, sw.rep); err != nil {
 			return err
 		}
 	}
@@ -782,16 +817,34 @@ func (f *Fleet) Close() error {
 		} else if st.store != nil {
 			st.store.Close()
 		}
-		if st.journal != nil {
-			if err := st.journal.Close(); err != nil && first == nil {
-				first = err
-			}
+	}
+	// After a simulated crash the journal is abandoned exactly as a kill
+	// would leave it: whatever the OS has is what recovery sees.
+	if f.journal != nil && !dead {
+		if err := f.journal.Close(); err != nil && first == nil {
+			first = err
 		}
 	}
 	f.mu.Lock()
 	f.closeErr = first
 	f.mu.Unlock()
 	return first
+}
+
+// JournalStats reports the fleet journal's group-commit accounting: total
+// fsynced batches and the windows they covered. Zero in in-memory mode.
+func (f *Fleet) JournalStats() (batches, windows int64) {
+	if f.journal == nil {
+		return 0, 0
+	}
+	return f.journal.Stats()
+}
+
+// IDs returns the fleet's instance IDs in sorted order.
+func (f *Fleet) IDs() []string {
+	out := make([]string, len(f.ids))
+	copy(out, f.ids)
+	return out
 }
 
 // Report renders every instance's committed windows, instances in ID
@@ -801,7 +854,7 @@ func (f *Fleet) Report() string {
 	defer f.mu.Unlock()
 	var b strings.Builder
 	for _, id := range f.ids {
-		formatInstanceReport(&b, id, f.insts[id].reports)
+		FormatInstanceReport(&b, id, f.insts[id].reports)
 	}
 	return b.String()
 }

@@ -82,7 +82,7 @@ func TestFleetCrashResume(t *testing.T) {
 			var mu sync.Mutex
 			fired := false
 			opt := Options{Workers: 4, QueueDepth: 16, DataDir: dir}
-			opt.crashAt = func(id string, window int, ph string) bool {
+			opt.CrashAt = func(id string, window int, ph string) bool {
 				mu.Lock()
 				defer mu.Unlock()
 				if id == "inst-03" && window == 1 && ph == phase {

@@ -64,7 +64,7 @@ func TestFleetGoldenKillRestart(t *testing.T) {
 	dir := t.TempDir()
 	opt := tc.opt
 	opt.DataDir = dir
-	opt.crashAt = func(id string, window int, phase string) bool {
+	opt.CrashAt = func(id string, window int, phase string) bool {
 		return id == "inst-01" && window == 1 && phase == "pre-journal"
 	}
 	f, err := New(tc.specs, opt)

@@ -1,10 +1,8 @@
 package fleet
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
-	"os"
 	"sort"
 	"strings"
 )
@@ -59,62 +57,12 @@ type ActionReport struct {
 	Executed   bool    `json:"executed,omitempty"`
 }
 
-// appendJournal appends one committed window to the journal and fsyncs it:
-// once this returns, a restart will count the window as committed.
-func appendJournal(f *os.File, rep *WindowReport) error {
-	line, err := json.Marshal(rep)
-	if err != nil {
-		return err
-	}
-	line = append(line, '\n')
-	if _, err := f.Write(line); err != nil {
-		return err
-	}
-	return f.Sync()
-}
-
-// readJournal loads the committed-window prefix of a journal file. The
-// scan stops at the first torn or non-contiguous entry (a crash mid-write
-// leaves a partial last line), truncates the file to the good prefix, and
-// leaves it open for appends. windowMs validates entry k covers
-// [k*windowMs, (k+1)*windowMs).
-func readJournal(path string, windowMs int64) (*os.File, []*WindowReport, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, nil, err
-	}
-	var reps []*WindowReport
-	good := int64(0)
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-	for sc.Scan() {
-		line := sc.Bytes()
-		rep := &WindowReport{}
-		if err := json.Unmarshal(line, rep); err != nil {
-			break
-		}
-		w := len(reps)
-		if rep.Window != w || rep.FromMs != int64(w)*windowMs || rep.ToMs != int64(w+1)*windowMs {
-			break
-		}
-		reps = append(reps, rep)
-		good += int64(len(line)) + 1
-	}
-	if err := f.Truncate(good); err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	if _, err := f.Seek(good, 0); err != nil {
-		f.Close()
-		return nil, nil, err
-	}
-	return f, reps, nil
-}
-
-// formatInstanceReport renders one instance's committed windows. The
+// FormatInstanceReport renders one instance's committed windows. The
 // format is the determinism contract's observable: byte-identical for
-// every worker count and across kill/restart (when no window was shed).
-func formatInstanceReport(b *strings.Builder, id string, reps []*WindowReport) {
+// every worker count, shard count, and across kill/restart (when no
+// window was shed). Exported so the shard manager can merge per-shard
+// fleets into one deterministic fleet-wide report.
+func FormatInstanceReport(b *strings.Builder, id string, reps []*WindowReport) {
 	fmt.Fprintf(b, "instance %s: %d windows\n", id, len(reps))
 	for _, r := range reps {
 		fmt.Fprintf(b, "  window %d [%d, %d)s records=%d session=%s cpu=%s",

@@ -1,0 +1,60 @@
+package shard
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+
+	"pinsql/internal/fleet"
+)
+
+// Handler is the aggregating control plane over every shard:
+//
+//	GET /fleet                     merged fleet + per-instance status (JSON)
+//	GET /shards                    per-shard rollups (JSON)
+//	GET /instances/{id}/diagnoses  committed window reports, routed to the
+//	                               owning shard (JSON)
+//	GET /metrics                   Prometheus text exposition (all shards'
+//	                               series plus pinsql_shard_* aggregates)
+//	GET /debug/pprof/...           stdlib profiling endpoints
+//
+// The API is a superset of fleet.Handler's, so `pinsqld -shards K` is a
+// drop-in replacement for the unsharded server: same paths, same document
+// shapes (GET /fleet gains a "shards" field and a per-instance "shard"
+// annotation). Read-only and safe to serve while the shards run — every
+// handler snapshots per-shard state under that shard's own lock; no
+// cross-shard lock exists.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fleet", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, m.Status())
+	})
+	mux.HandleFunc("GET /shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, m.ShardStatuses())
+	})
+	mux.HandleFunc("GET /instances/{id}/diagnoses", func(w http.ResponseWriter, r *http.Request) {
+		reps, ok := m.Diagnoses(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown instance", http.StatusNotFound)
+			return
+		}
+		if reps == nil {
+			reps = []*fleet.WindowReport{}
+		}
+		writeJSON(w, reps)
+	})
+	mux.Handle("GET /metrics", m.metrics.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

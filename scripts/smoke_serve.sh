@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Control-plane smoke test: boot pinsqld -serve over a 4-instance fleet,
-# poll the HTTP endpoints while the fleet is running, then SIGTERM and
-# assert a graceful drain (exit 0). CI runs this on every push.
+# Control-plane smoke test: boot pinsqld -serve over a 4-instance fleet
+# split across 2 shards, poll the aggregating HTTP endpoints while the
+# fleet is running, then SIGTERM and assert a graceful parallel drain
+# (exit 0). CI runs this on every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,11 +11,12 @@ DATA=$(mktemp -d)
 LOG=$(mktemp)
 trap 'kill "$PID" 2>/dev/null || true; rm -rf "$DATA" "$LOG" pinsqld-smoke' EXIT
 
-# 6 workers over 4 instances: sim tasks strictly outrank diagnosis drains
-# (the simulator is never paused), so the two spare workers keep the
-# commit stream flowing while the four sim slots stay saturated.
+# 6 workers over 4 instances in 2 shards (3 workers each): sim tasks
+# strictly outrank diagnosis drains (the simulator is never paused), so
+# each shard's spare worker keeps its commit stream flowing while the sim
+# slots stay saturated.
 go build -o pinsqld-smoke ./cmd/pinsqld
-./pinsqld-smoke -instances 4 -windows 200 -window 300 -workers 6 \
+./pinsqld-smoke -instances 4 -windows 200 -window 300 -workers 6 -shards 2 \
   -data-dir "$DATA" -serve "$ADDR" >"$LOG" 2>&1 &
 PID=$!
 
@@ -42,6 +44,12 @@ echo "fleet committed $committed windows, $anomalies anomalies"
 
 FLEET=$(curl -sf "http://$ADDR/fleet")
 echo "$FLEET" | grep -q '"id": "inst-00"' || { echo "/fleet missing inst-00: $FLEET"; exit 1; }
+echo "$FLEET" | grep -q '"shards": 2' || { echo "/fleet missing shards=2: $FLEET"; exit 1; }
+echo "$FLEET" | grep -q '"shard": ' || { echo "/fleet instances missing shard annotation: $FLEET"; exit 1; }
+SHARDS=$(curl -sf "http://$ADDR/shards")
+echo "$SHARDS" | grep -q '"shard": 0' || { echo "/shards missing shard 0: $SHARDS"; exit 1; }
+echo "$SHARDS" | grep -q '"shard": 1' || { echo "/shards missing shard 1: $SHARDS"; exit 1; }
+echo "$SHARDS" | grep -q '"commit_batches"' || { echo "/shards missing group-commit accounting: $SHARDS"; exit 1; }
 curl -sf "http://$ADDR/instances/inst-00/diagnoses" | grep -q '"window": 0' \
   || { echo "/instances/inst-00/diagnoses missing window 0"; exit 1; }
 curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/instances/nope/diagnoses" | grep -q 404 \
@@ -51,15 +59,28 @@ METRICS=$(curl -sf "http://$ADDR/metrics")
 for metric in pinsql_fleet_windows_total pinsql_fleet_anomalies_total \
   pinsql_fleet_queue_depth pinsql_registry_raw_cache_misses_total \
   pinsql_broker_dropped_total pinsql_ingest_records_total \
-  pinsql_ingest_parse_errors_total pinsql_ingest_lag_seconds; do
+  pinsql_ingest_parse_errors_total pinsql_ingest_lag_seconds \
+  pinsql_shard_instances pinsql_shard_windows_total \
+  pinsql_shard_queue_depth pinsql_shard_shed_windows_total \
+  pinsql_shard_commit_batches_total pinsql_shard_commit_batch_windows_total; do
   echo "$METRICS" | grep -q "^$metric" || { echo "/metrics missing $metric"; exit 1; }
 done
+# Both shards must be scraping distinct series, and each shard's journal
+# must have group-committed at least one batch by now.
+echo "$METRICS" | grep -q '^pinsql_shard_instances{shard="0"} 2$' \
+  || { echo "shard 0 not reporting 2 instances"; exit 1; }
+echo "$METRICS" | grep -q '^pinsql_shard_instances{shard="1"} 2$' \
+  || { echo "shard 1 not reporting 2 instances"; exit 1; }
+echo "$METRICS" | grep '^pinsql_shard_commit_batches_total' | grep -qv ' 0$' \
+  || { echo "no journal group commits recorded"; exit 1; }
 # Every instance replays through the ingest seam (the simulator is just
 # another Source), so its records counter must move with the fleet.
 echo "$METRICS" | grep '^pinsql_ingest_records_total' | grep -qv ' 0$' \
   || { echo "ingest records counter stuck at zero"; exit 1; }
-echo "$METRICS" | grep -q '^pinsql_ingest_parse_errors_total{instance="inst-00"} 0$' \
-  || { echo "simulator instance reported parse errors"; exit 1; }
+# Every fleet series now carries the owning shard's label (inst-00 hashes
+# to shard 0 at K=2; labels render sorted by key).
+echo "$METRICS" | grep -q '^pinsql_ingest_parse_errors_total{instance="inst-00",shard="0"} 0$' \
+  || { echo "simulator instance reported parse errors (or shard label missing)"; exit 1; }
 # Window and anomaly counters must be live (non-zero) while the fleet runs.
 echo "$METRICS" | grep '^pinsql_fleet_windows_total' | grep -qv ' 0$' \
   || { echo "windows counter stuck at zero"; exit 1; }
