@@ -71,16 +71,18 @@ bench-gen:
 
 # Fleet throughput sweep: instance counts × (shards × workers) through
 # the full multi-instance monitoring pipeline (windows/sec, shard
-# speedup, shed rate, peak queue depth), with a built-in cross-shard
-# determinism gate — the run exits non-zero if any cell's fleet report
-# diverges from its instance count's unsharded baseline. Writes
-# BENCH_fleet.json.
+# speedup, shed rate, peak queue depth), plus a multi-process re-run of
+# one cell per instance count (each shard a supervised worker process),
+# with a built-in determinism gate — the run exits non-zero if any
+# cell's fleet report, in-process or multi-process, diverges from its
+# instance count's unsharded baseline. Writes BENCH_fleet.json.
 bench-fleet:
 	$(GO) run ./cmd/pinsql-bench -exp fleet -small -seed 3
 
 # The 128-instance scale gate alone (same sweep and divergence checks as
 # bench-fleet at CI-sized parameters; kept as a named target so CI
-# failures point at cross-shard determinism directly). Writes no file.
+# failures point at cross-shard/cross-mode determinism directly).
+# Writes no file.
 bench-fleet-scale:
 	$(GO) run ./cmd/pinsql-bench -exp fleet -small -seed 5 -fleet-out ""
 
@@ -107,8 +109,11 @@ bench-incremental:
 bench-ingest:
 	$(GO) run ./cmd/pinsql-bench -exp ingest
 
-# Control-plane smoke: boot pinsqld -serve with a 4-instance fleet, curl
-# /fleet and /metrics, then SIGTERM and assert a clean drain (exit 0).
+# Control-plane smoke, two phases: boot pinsqld -serve with a
+# 4-instance 2-shard fleet, curl /fleet and /metrics, SIGTERM, assert a
+# clean drain (exit 0); then the same fleet with -role coordinator
+# (one worker process per shard), SIGKILL a worker, assert the
+# supervisor respawns it, and assert the drain also stops the workers.
 smoke-serve:
 	./scripts/smoke_serve.sh
 

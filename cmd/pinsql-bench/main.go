@@ -23,9 +23,14 @@ import (
 
 	"pinsql/internal/bench"
 	"pinsql/internal/cases"
+	"pinsql/internal/shard/remote"
 )
 
 func main() {
+	// The fleet sweep's multi-process cells re-exec this binary as shard
+	// workers; when the worker config env var is set this call never
+	// returns.
+	remote.MaybeWorker()
 	os.Exit(realMain())
 }
 
@@ -33,23 +38,24 @@ func main() {
 // run before the process exits (os.Exit skips defers).
 func realMain() (code int) {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|scenario|logstore|gen|fleet|diagnose|fuzz|ingest|all")
-		n          = flag.Int("cases", 24, "corpus size for table1/fig6/families")
-		seed       = flag.Int64("seed", 1, "corpus seed")
-		param      = flag.String("param", "ks", "sweep parameter: ks|tau|buckets")
-		small      = flag.Bool("small", false, "use reduced trace lengths (faster, noisier)")
-		workers    = flag.Int("workers", 0, "worker pool for case generation and fig7's parallel curve (0 = GOMAXPROCS, 1 = sequential)")
-		genOut     = flag.String("gen-out", "BENCH_gen.json", "output file for the -exp gen report (empty = stdout only)")
-		diagOut    = flag.String("diagnose-out", "BENCH_diagnose.json", "output file for the -exp diagnose report (empty = stdout only)")
-		fleetOut   = flag.String("fleet-out", "BENCH_fleet.json", "output file for the -exp fleet report (empty = stdout only)")
-		ingestOut  = flag.String("ingest-out", "BENCH_ingest.json", "output file for the -exp ingest report (empty = stdout only)")
-		ingestPath = flag.String("ingest-trace", "", "trace file for -exp ingest (empty = the committed example recording)")
-		fuzzOut    = flag.String("fuzz-out", "BENCH_fuzz.json", "output file for the -exp fuzz report (empty = stdout only)")
-		fuzzBudget = flag.Int("fuzz-budget", 0, "cases per fuzz search run (0 = default for the size)")
-		corpusDir  = flag.String("corpus-dir", "", "directory the fuzz search writes repro bundles into (empty = none)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
-		profDir    = flag.String("cpuprofile-dir", "", "for -exp fleet: write one CPU profile per sweep cell (fleet_i<N>_s<K>_w<W>.pprof) into this directory")
+		exp         = flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8|table2|table3|table4|sweep|families|scenario|logstore|gen|fleet|diagnose|fuzz|ingest|all")
+		n           = flag.Int("cases", 24, "corpus size for table1/fig6/families")
+		seed        = flag.Int64("seed", 1, "corpus seed")
+		param       = flag.String("param", "ks", "sweep parameter: ks|tau|buckets")
+		small       = flag.Bool("small", false, "use reduced trace lengths (faster, noisier)")
+		workers     = flag.Int("workers", 0, "worker pool for case generation and fig7's parallel curve (0 = GOMAXPROCS, 1 = sequential)")
+		genOut      = flag.String("gen-out", "BENCH_gen.json", "output file for the -exp gen report (empty = stdout only)")
+		diagOut     = flag.String("diagnose-out", "BENCH_diagnose.json", "output file for the -exp diagnose report (empty = stdout only)")
+		fleetOut    = flag.String("fleet-out", "BENCH_fleet.json", "output file for the -exp fleet report (empty = stdout only)")
+		fleetNoProc = flag.Bool("fleet-no-proc", false, "skip the fleet sweep's multi-process cells")
+		ingestOut   = flag.String("ingest-out", "BENCH_ingest.json", "output file for the -exp ingest report (empty = stdout only)")
+		ingestPath  = flag.String("ingest-trace", "", "trace file for -exp ingest (empty = the committed example recording)")
+		fuzzOut     = flag.String("fuzz-out", "BENCH_fuzz.json", "output file for the -exp fuzz report (empty = stdout only)")
+		fuzzBudget  = flag.Int("fuzz-budget", 0, "cases per fuzz search run (0 = default for the size)")
+		corpusDir   = flag.String("corpus-dir", "", "directory the fuzz search writes repro bundles into (empty = none)")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write an allocation profile to this file on exit")
+		profDir     = flag.String("cpuprofile-dir", "", "for -exp fleet: write one CPU profile per sweep cell (fleet_i<N>_s<K>_w<W>.pprof) into this directory")
 	)
 	flag.Parse()
 
@@ -220,7 +226,7 @@ func realMain() (code int) {
 		},
 		"fleet": func() {
 			run("fleet", func() (fmt.Stringer, error) {
-				res, err := bench.RunFleetBench(bench.FleetBenchOptions{Seed: *seed, Small: *small, ProfileDir: *profDir})
+				res, err := bench.RunFleetBench(bench.FleetBenchOptions{Seed: *seed, Small: *small, ProfileDir: *profDir, NoProc: *fleetNoProc})
 				if err != nil {
 					return nil, err
 				}
@@ -235,7 +241,7 @@ func realMain() (code int) {
 					fmt.Printf("[fleet report written to %s]\n", *fleetOut)
 				}
 				if !res.Identical {
-					return nil, fmt.Errorf("cross-shard divergence: some sweep cells produced a different fleet report than their instance count's baseline")
+					return nil, fmt.Errorf("report divergence: some sweep cells (cross-shard or cross-process-mode) produced a different fleet report than their instance count's baseline")
 				}
 				return wrapped{res}, nil
 			})

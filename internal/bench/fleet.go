@@ -12,6 +12,7 @@ import (
 
 	"pinsql/internal/fleet"
 	"pinsql/internal/shard"
+	"pinsql/internal/shard/remote"
 )
 
 // FleetBenchOptions configures the fleet-throughput sweep.
@@ -20,25 +21,35 @@ type FleetBenchOptions struct {
 	Windows int  // windows per instance; 0 → 3 (2 when Small)
 	Small   bool // CI-sized: fewer/shorter windows, smaller sweep
 
-	// ProfileDir, when non-empty, writes one CPU profile per sweep cell
-	// as fleet_i<instances>_s<shards>_w<workers>.pprof under the
-	// directory (created if missing) — the investigation handle for
+	// ProfileDir, when non-empty, writes one CPU profile per in-process
+	// sweep cell as fleet_i<instances>_s<shards>_w<workers>.pprof under
+	// the directory (created if missing) — the investigation handle for
 	// scheduling regressions like the known 1→2 worker slowdown on a
-	// single-CPU host.
+	// single-CPU host. Process-mode cells are not profiled: the
+	// coordinator mostly waits on its workers, so its profile is noise.
 	ProfileDir string
+
+	// NoProc skips the multi-process cells (used when the binary cannot
+	// re-exec itself as a worker, e.g. under `go test` harnesses that
+	// don't route through MaybeWorker).
+	NoProc bool
 }
 
 // FleetBenchRow is one (instances × shards × workers) cell of the sweep.
 type FleetBenchRow struct {
-	Instances     int     `json:"instances"`
-	Shards        int     `json:"shards"`
-	Workers       int     `json:"workers"` // total across shards
+	Instances int `json:"instances"`
+	Shards    int `json:"shards"`
+	Workers   int `json:"workers"` // total across shards
+	// Mode is "inproc" (all shards in one process) or "proc" (each shard
+	// a supervised worker process behind the HTTP/JSON worker API).
+	Mode          string  `json:"mode"`
 	Windows       int     `json:"windows"` // committed across the fleet
 	WallSec       float64 `json:"wall_sec"`
 	WindowsPerSec float64 `json:"windows_per_sec"`
 	// ShardSpeedup is windows/sec relative to the same instance count's
-	// (shards=1, workers=1) cell — the headline sharding win. 1.0 on the
-	// baseline cell itself.
+	// in-process (shards=1, workers=1) cell — the headline sharding win.
+	// 1.0 on the baseline cell itself. For proc cells the gap to the
+	// matching inproc cell is the process-transport overhead.
 	ShardSpeedup float64 `json:"shard_speedup"`
 	// ScalingEfficiency is ShardSpeedup per worker: 1.0 is perfect linear
 	// scaling, below 1.0 the extra workers are partly idle or contending.
@@ -50,15 +61,17 @@ type FleetBenchRow struct {
 	Records           int64   `json:"records"`
 	Dropped           int64   `json:"dropped"` // broker backpressure loss
 	// ReportHash fingerprints the fleet report (FNV-1a). Every cell with
-	// the same instance count must agree — the sweep doubles as the
-	// cross-shard determinism gate.
+	// the same instance count must agree — across shard counts AND across
+	// the process boundary — so the sweep doubles as the cross-shard and
+	// cross-mode determinism gate.
 	ReportHash string `json:"report_hash"`
 	Identical  bool   `json:"identical"` // report matched the instance count's first cell
 }
 
 // FleetBench is the document behind BENCH_fleet.json: how fleet throughput
-// scales with instance count, shard count, and scheduler workers, and what
-// the bounded queues shed along the way.
+// scales with instance count, shard count, and scheduler workers, what the
+// bounded queues shed along the way, and what running each shard as a
+// separate worker process costs on top.
 type FleetBench struct {
 	WindowSec  int             `json:"window_sec"`
 	GOMAXPROCS int             `json:"gomaxprocs"` // scaling ceiling of the host the sweep ran on
@@ -66,9 +79,9 @@ type FleetBench struct {
 	Rows       []FleetBenchRow `json:"rows"`
 }
 
-// fleetCells is the (shards, workers) grid swept at each instance count;
-// cells with more shards than instances are skipped (an empty shard is
-// legal but measures nothing).
+// fleetCells is the (shards, workers) grid swept in-process at each
+// instance count; cells with more shards than instances are skipped (an
+// empty shard is legal but measures nothing).
 var fleetCells = []struct{ shards, workers int }{
 	{1, 1}, // baseline: the unsharded sequential fleet
 	{1, 2}, // the known worker-scaling regression cell
@@ -76,10 +89,20 @@ var fleetCells = []struct{ shards, workers int }{
 	{8, 8},
 }
 
+// fleetProcCells is the subset re-run in multi-process mode: the same
+// cell shape as an in-process one so the wall-clock delta isolates the
+// transport + process-supervision overhead, and the report hash feeds
+// the cross-mode determinism gate.
+var fleetProcCells = []struct{ shards, workers int }{
+	{2, 2},
+}
+
 // RunFleetBench sweeps instance counts × (shards × workers) over the
-// in-memory fleet and measures end-to-end monitoring throughput. Within
-// one instance count every cell must produce a byte-identical report —
-// a divergence sets Identical=false (and pinsql-bench exits non-zero).
+// in-memory fleet and measures end-to-end monitoring throughput, then
+// re-runs a subset of cells with each shard as a separate worker process.
+// Within one instance count every cell — in-process or multi-process —
+// must produce a byte-identical report; a divergence sets Identical=false
+// (and pinsql-bench exits non-zero).
 func RunFleetBench(opt FleetBenchOptions) (*FleetBench, error) {
 	instanceCounts := []int{1, 8, 64, 128}
 	windowSec := 300
@@ -103,87 +126,130 @@ func RunFleetBench(opt FleetBenchOptions) (*FleetBench, error) {
 
 	out := &FleetBench{WindowSec: windowSec, GOMAXPROCS: runtime.GOMAXPROCS(0), Identical: true}
 	for _, n := range instanceCounts {
-		baseline := 0.0 // (shards=1, workers=1) windows/sec for this instance count
+		baseline := 0.0 // in-process (shards=1, workers=1) windows/sec for this instance count
 		baseHash := ""  // report fingerprint every other cell must match
 		for _, cell := range fleetCells {
 			if cell.shards > n {
 				continue
 			}
-			specs := fleet.DefaultFleet(n, opt.Seed, windows, windowSec)
-			m, err := shard.New(specs, shard.Options{Shards: cell.shards, Workers: cell.workers, QueueDepth: 4})
+			profPath := ""
+			if opt.ProfileDir != "" {
+				profPath = filepath.Join(opt.ProfileDir, fmt.Sprintf("fleet_i%d_s%d_w%d.pprof", n, cell.shards, cell.workers))
+			}
+			row, err := runFleetCell(opt.Seed, n, windows, windowSec, cell.shards, cell.workers, nil, profPath)
 			if err != nil {
 				return nil, err
 			}
-			var prof *os.File
-			if opt.ProfileDir != "" {
-				name := filepath.Join(opt.ProfileDir, fmt.Sprintf("fleet_i%d_s%d_w%d.pprof", n, cell.shards, cell.workers))
-				if prof, err = os.Create(name); err != nil {
-					m.Close()
-					return nil, err
-				}
-				if err := pprof.StartCPUProfile(prof); err != nil {
-					prof.Close()
-					m.Close()
-					return nil, err
-				}
-			}
-			start := time.Now()
-			m.Start()
-			if err := m.Wait(); err != nil {
-				if prof != nil {
-					pprof.StopCPUProfile()
-					prof.Close()
-				}
-				m.Close()
-				return nil, err
-			}
-			wall := time.Since(start).Seconds()
-			if prof != nil {
-				pprof.StopCPUProfile()
-				if err := prof.Close(); err != nil {
-					m.Close()
-					return nil, err
-				}
-			}
-			st := m.Status()
-			row := FleetBenchRow{
-				Instances:  n,
-				Shards:     cell.shards,
-				Workers:    m.Workers(),
-				Windows:    st.Committed,
-				WallSec:    wall,
-				ShedRate:   float64(st.Shed) / float64(max(st.Committed, 1)),
-				ReportHash: hashReport(m.Report()),
-			}
-			if wall > 0 {
-				row.WindowsPerSec = float64(st.Committed) / wall
-			}
+			row.Mode = "inproc"
 			if cell.shards == 1 && cell.workers == 1 {
 				baseline = row.WindowsPerSec
 				baseHash = row.ReportHash
 			}
-			if baseline > 0 {
-				row.ShardSpeedup = row.WindowsPerSec / baseline
-				if row.Workers > 0 {
-					row.ScalingEfficiency = row.ShardSpeedup / float64(row.Workers)
-				}
+			finishFleetRow(&row, baseline, baseHash, out)
+		}
+		if opt.NoProc {
+			continue
+		}
+		for _, cell := range fleetProcCells {
+			if cell.shards > n {
+				continue
 			}
-			row.Identical = row.ReportHash == baseHash
-			if !row.Identical {
-				out.Identical = false
-			}
-			for _, is := range st.Instances {
-				row.PeakQueue = max(row.PeakQueue, is.PeakQueue)
-				row.Records += is.Records
-				row.Dropped += is.Dropped
-			}
-			if err := m.Close(); err != nil {
+			factory := remote.Factory(remote.Options{
+				Specs: remote.SpecSet{Instances: n, Seed: opt.Seed, Windows: windows, WindowSec: windowSec},
+			})
+			row, err := runFleetCell(opt.Seed, n, windows, windowSec, cell.shards, cell.workers, factory, "")
+			if err != nil {
 				return nil, err
 			}
-			out.Rows = append(out.Rows, row)
+			row.Mode = "proc"
+			finishFleetRow(&row, baseline, baseHash, out)
 		}
 	}
 	return out, nil
+}
+
+// runFleetCell measures one sweep cell: build the fleet, run it to
+// completion, and fingerprint its report. A nil factory runs the shards
+// in-process; a remote factory runs each as a worker process.
+func runFleetCell(seed int64, n, windows, windowSec, shards, workers int, factory shard.RuntimeFactory, profPath string) (FleetBenchRow, error) {
+	var row FleetBenchRow
+	specs := fleet.DefaultFleet(n, seed, windows, windowSec)
+	m, err := shard.New(specs, shard.Options{Shards: shards, Workers: workers, QueueDepth: 4, Runtime: factory})
+	if err != nil {
+		return row, err
+	}
+	var prof *os.File
+	if profPath != "" {
+		if prof, err = os.Create(profPath); err != nil {
+			m.Close()
+			return row, err
+		}
+		if err := pprof.StartCPUProfile(prof); err != nil {
+			prof.Close()
+			m.Close()
+			return row, err
+		}
+	}
+	start := time.Now()
+	m.Start()
+	if err := m.Wait(); err != nil {
+		if prof != nil {
+			pprof.StopCPUProfile()
+			prof.Close()
+		}
+		m.Close()
+		return row, err
+	}
+	wall := time.Since(start).Seconds()
+	if prof != nil {
+		pprof.StopCPUProfile()
+		if err := prof.Close(); err != nil {
+			m.Close()
+			return row, err
+		}
+	}
+	st := m.Status()
+	mrep, err := m.Report()
+	if err != nil {
+		m.Close()
+		return row, err
+	}
+	row = FleetBenchRow{
+		Instances:  n,
+		Shards:     shards,
+		Workers:    m.Workers(),
+		Windows:    st.Committed,
+		WallSec:    wall,
+		ShedRate:   float64(st.Shed) / float64(max(st.Committed, 1)),
+		ReportHash: hashReport(mrep),
+	}
+	if wall > 0 {
+		row.WindowsPerSec = float64(st.Committed) / wall
+	}
+	for _, is := range st.Instances {
+		row.PeakQueue = max(row.PeakQueue, is.PeakQueue)
+		row.Records += is.Records
+		row.Dropped += is.Dropped
+	}
+	if err := m.Close(); err != nil {
+		return row, err
+	}
+	return row, nil
+}
+
+// finishFleetRow fills the baseline-relative columns and appends the row.
+func finishFleetRow(row *FleetBenchRow, baseline float64, baseHash string, out *FleetBench) {
+	if baseline > 0 {
+		row.ShardSpeedup = row.WindowsPerSec / baseline
+		if row.Workers > 0 {
+			row.ScalingEfficiency = row.ShardSpeedup / float64(row.Workers)
+		}
+	}
+	row.Identical = row.ReportHash == baseHash
+	if !row.Identical {
+		out.Identical = false
+	}
+	out.Rows = append(out.Rows, *row)
 }
 
 // hashReport fingerprints a fleet report for the cross-shard determinism
@@ -198,14 +264,14 @@ func hashReport(report string) string {
 func (b *FleetBench) Format() string {
 	var s strings.Builder
 	fmt.Fprintf(&s, "Fleet throughput sweep (%ds windows, GOMAXPROCS=%d)\n", b.WindowSec, b.GOMAXPROCS)
-	s.WriteString("  instances  shards  workers  windows   wall(s)  win/s   spdup   eff    shed%  peakQ   records  dropped  identical\n")
+	s.WriteString("  instances  shards  workers  mode    windows   wall(s)  win/s   spdup   eff    shed%  peakQ   records  dropped  identical\n")
 	for _, r := range b.Rows {
-		fmt.Fprintf(&s, "  %9d  %6d  %7d  %7d  %8.2f  %5.1f  %6.2f  %4.2f  %6.1f  %5d  %8d  %7d  %9v\n",
-			r.Instances, r.Shards, r.Workers, r.Windows, r.WallSec, r.WindowsPerSec,
+		fmt.Fprintf(&s, "  %9d  %6d  %7d  %-6s  %7d  %8.2f  %5.1f  %6.2f  %4.2f  %6.1f  %5d  %8d  %7d  %9v\n",
+			r.Instances, r.Shards, r.Workers, r.Mode, r.Windows, r.WallSec, r.WindowsPerSec,
 			r.ShardSpeedup, r.ScalingEfficiency, r.ShedRate*100, r.PeakQueue, r.Records, r.Dropped, r.Identical)
 	}
 	if !b.Identical {
-		s.WriteString("  DIVERGENCE: some cells' reports differ from their instance count's baseline\n")
+		s.WriteString("  DIVERGENCE: some cells' reports differ from their instance count's baseline (cross-shard or cross-mode)\n")
 	}
 	return s.String()
 }

@@ -873,6 +873,23 @@ func (f *Fleet) Diagnoses(id string) ([]*WindowReport, bool) {
 	return out, true
 }
 
+// Reports returns a copy of every instance's committed window reports,
+// keyed by instance ID — the fleet's report fragment. One call hands a
+// coordinator everything Report would render, so a worker process serves
+// its whole shard in a single round trip instead of one call per instance.
+func (f *Fleet) Reports() map[string][]*WindowReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string][]*WindowReport, len(f.ids))
+	for _, id := range f.ids {
+		st := f.insts[id]
+		reps := make([]*WindowReport, len(st.reports))
+		copy(reps, st.reports)
+		out[id] = reps
+	}
+	return out
+}
+
 // InstanceStatus is one row of GET /fleet.
 type InstanceStatus struct {
 	ID         string `json:"id"`

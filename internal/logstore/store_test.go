@@ -2,9 +2,12 @@ package logstore
 
 import (
 	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
+	"unsafe"
 )
 
 func TestAppendAndScan(t *testing.T) {
@@ -287,5 +290,141 @@ func TestExpireSkipsCleanTopics(t *testing.T) {
 	}
 	if got := s.Len("stale"); got != 0 {
 		t.Errorf("stale Len = %d", got)
+	}
+}
+
+// TestChunkedArenaDifferential drives the chunked arena and a flat
+// reference slice through the same randomized mixed workload (in-order
+// appends, slack inserts, loose appends, expiry, truncation) and asserts
+// every scan stays byte-identical to the flat model.
+func TestChunkedArenaDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	s := New(0)
+	var ref []Record // flat model, kept sorted exactly like the old store
+	now := int64(0)
+	for op := 0; op < 30_000; op++ {
+		switch k := rng.Intn(100); {
+		case k < 80: // in-order append
+			now += int64(rng.Intn(20))
+			rec := Record{TemplateIdx: int32(op), ArrivalMs: now}
+			if err := s.Append("t", rec); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			i := sort.Search(len(ref), func(i int) bool { return ref[i].ArrivalMs > rec.ArrivalMs })
+			ref = append(ref, Record{})
+			copy(ref[i+1:], ref[i:])
+			ref[i] = rec
+		case k < 95: // slack insert behind the newest arrival
+			back := int64(rng.Intn(int(s.slackMs)))
+			rec := Record{TemplateIdx: int32(op), ArrivalMs: now - back}
+			if err := s.Append("t", rec); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			i := sort.Search(len(ref), func(i int) bool { return ref[i].ArrivalMs > rec.ArrivalMs })
+			ref = append(ref, Record{})
+			copy(ref[i+1:], ref[i:])
+			ref[i] = rec
+		case k < 98: // expire a prefix
+			// Mirror Expire's cutoff arithmetic: Expire(nowMs) drops
+			// records with ArrivalMs < nowMs-ttl. Use ttl=1 and
+			// nowMs=cut so the cutoff is cut-1.
+			cut := now - int64(rng.Intn(500))
+			s.ttlMs = 1
+			got := s.Expire(cut)
+			s.ttlMs = 0
+			want := 0
+			keep := ref[:0:0]
+			for _, r := range ref {
+				if r.ArrivalMs < cut-1 {
+					want++
+					continue
+				}
+				keep = append(keep, r)
+			}
+			ref = keep
+			if got != want {
+				t.Fatalf("op %d: Expire removed %d, want %d", op, got, want)
+			}
+		default: // truncate a suffix
+			cut := now - int64(rng.Intn(200))
+			s.TruncateFrom("t", cut)
+			keep := ref[:0:0]
+			for _, r := range ref {
+				if r.ArrivalMs < cut {
+					keep = append(keep, r)
+				}
+			}
+			ref = keep
+		}
+		if op%997 == 0 || op == 29_999 {
+			lo := now - int64(rng.Intn(2000))
+			hi := lo + int64(rng.Intn(2000))
+			got := s.Scan("t", lo, hi)
+			want := refScan(ref, lo, hi)
+			if len(got) != len(want) {
+				t.Fatalf("op %d: scan len %d, want %d", op, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("op %d: scan[%d] = %+v, want %+v", op, i, got[i], want[i])
+				}
+			}
+			if s.Len("t") != len(ref) {
+				t.Fatalf("op %d: Len %d, want %d", op, s.Len("t"), len(ref))
+			}
+		}
+	}
+	// Final full-range sweep.
+	got := s.Scan("t", -1<<62, 1<<62)
+	if len(got) != len(ref) {
+		t.Fatalf("final scan len %d, want %d", len(got), len(ref))
+	}
+	for i := range got {
+		if got[i] != ref[i] {
+			t.Fatalf("final scan[%d] = %+v, want %+v", i, got[i], ref[i])
+		}
+	}
+}
+
+func refScan(ref []Record, fromMs, toMs int64) []Record {
+	lo := sort.Search(len(ref), func(i int) bool { return ref[i].ArrivalMs >= fromMs })
+	hi := sort.Search(len(ref), func(i int) bool { return ref[i].ArrivalMs >= toMs })
+	out := make([]Record, hi-lo)
+	copy(out, ref[lo:hi])
+	return out
+}
+
+// TestAppendAllocBudget pins the chunked arena's growth cost: appending N
+// in-order records must allocate close to the raw data size (one fresh
+// chunk at a time), not the ~2× of a doubling []Record. This is the
+// regression gate for the growslice hot spot seen at 128 fleet instances.
+func TestAppendAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting in -short")
+	}
+	const n = 1 << 18 // 256 Ki records ≈ 8 MiB of raw data
+	recSize := int64(unsafe.Sizeof(Record{}))
+	raw := int64(n) * recSize
+
+	s := New(0)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < n; i++ {
+		if err := s.Append("t", Record{ArrivalMs: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+	grew := int64(after.TotalAlloc - before.TotalAlloc)
+
+	// Chunked arena: n/chunkCap chunk allocations + spine growth. Budget
+	// 1.25× raw data; the old doubling slice costs ~2× raw and fails.
+	budget := raw + raw/4
+	if grew > budget {
+		t.Fatalf("appending %d records allocated %d B, budget %d B (raw %d B)", n, grew, budget, raw)
+	}
+	if s.Len("t") != n {
+		t.Fatalf("Len = %d, want %d", s.Len("t"), n)
 	}
 }

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+)
+
+// textFamily is one family block of a Prometheus text exposition: the
+// optional # HELP line, the # TYPE line, and the series lines that follow.
+type textFamily struct {
+	name   string
+	header []string // "# HELP ..." and/or "# TYPE ..." lines, in input order
+	lines  []string // series lines, in input order
+}
+
+// MergeText merges Prometheus text expositions from several sources into
+// one document: family blocks with the same metric name are coalesced
+// (header lines from the first source that carries them, series lines
+// concatenated in source order), and the merged families are emitted
+// sorted by name — the same ordering Registry.WritePrometheus uses.
+//
+// This is how a sharded coordinator folds worker-process scrapes into its
+// own registry's output: each worker's series already carry a shard label,
+// so concatenation cannot collide, and per-source line order is preserved
+// so a summary's _sum/_count pairs stay adjacent. Merging a single
+// well-formed exposition reproduces it byte for byte.
+func MergeText(sources ...string) string {
+	var names []string
+	fams := make(map[string]*textFamily)
+	get := func(name string) *textFamily {
+		if f, ok := fams[name]; ok {
+			return f
+		}
+		f := &textFamily{name: name}
+		fams[name] = f
+		names = append(names, name)
+		return f
+	}
+	for _, src := range sources {
+		var cur *textFamily
+		for _, line := range strings.Split(src, "\n") {
+			if line == "" {
+				continue
+			}
+			if name, ok := headerName(line); ok {
+				cur = get(name)
+				if !hasHeader(cur, line) {
+					cur.header = append(cur.header, line)
+				}
+				continue
+			}
+			if strings.HasPrefix(line, "#") {
+				continue // stray comment: drop
+			}
+			// A series line outside any family block (no preceding
+			// HELP/TYPE) is grouped under its own sample name so it is
+			// not silently lost.
+			if cur == nil {
+				cur = get(sampleName(line))
+			}
+			cur.lines = append(cur.lines, line)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		for _, h := range f.header {
+			b.WriteString(h)
+			b.WriteByte('\n')
+		}
+		for _, l := range f.lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// headerName extracts the family name from a "# HELP name ..." or
+// "# TYPE name ..." line; ok is false for any other line.
+func headerName(line string) (string, bool) {
+	rest, ok := strings.CutPrefix(line, "# HELP ")
+	if !ok {
+		rest, ok = strings.CutPrefix(line, "# TYPE ")
+	}
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// hasHeader reports whether the family already recorded a header line of
+// the same kind (HELP or TYPE) — later sources repeat them; keep the first.
+func hasHeader(f *textFamily, line string) bool {
+	kind := line[:7] // "# HELP " or "# TYPE "
+	for _, h := range f.header {
+		if strings.HasPrefix(h, kind) {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleName extracts the metric name of a bare series line, folding a
+// summary's _sum/_count suffixes onto the base family name.
+func sampleName(line string) string {
+	name := line
+	if i := strings.IndexAny(name, "{ "); i >= 0 {
+		name = name[:i]
+	}
+	for _, suf := range []string{"_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			return base
+		}
+	}
+	return name
+}

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/pprof"
 
@@ -43,7 +44,10 @@ func (m *Manager) Handler() http.Handler {
 		}
 		writeJSON(w, reps)
 	})
-	mux.Handle("GET /metrics", m.metrics.Handler())
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = io.WriteString(w, m.MetricsExposition())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

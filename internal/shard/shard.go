@@ -80,6 +80,12 @@ type Options struct {
 	// (see fleet.Options.CrashAt). A fired hook kills only the shard it
 	// fired in — to simulate a whole-process SIGKILL, fire in every shard.
 	CrashAt func(id string, window int, phase string) bool
+
+	// Runtime opens each shard's engine. Nil selects NewLocalRuntime (the
+	// in-process fleet); remote.Factory runs the shard as a supervised
+	// pinsqld worker process instead. The aggregated report is
+	// byte-identical either way — that is the seam's contract.
+	Runtime RuntimeFactory
 }
 
 // shardsFile persists the shard count inside DataDir so a restart cannot
@@ -108,12 +114,12 @@ func Assign(id string, shards int) int {
 // Manager runs K independent shards and aggregates them. Create with New,
 // then Start/Wait/Stop/Close exactly like a fleet.Fleet.
 type Manager struct {
-	opt     Options
-	shards  []*fleet.Fleet
-	assign  map[string]int
-	ids     []string // all instance IDs, sorted — the merge order
-	workers int      // resolved total across shards
-	metrics *obs.Registry
+	opt      Options
+	runtimes []Runtime
+	assign   map[string]int
+	ids      []string // all instance IDs, sorted — the merge order
+	workers  int      // resolved total across shards
+	metrics  *obs.Registry
 }
 
 // New partitions the specs and opens every shard (recovering each shard's
@@ -158,6 +164,10 @@ func New(specs []fleet.InstanceSpec, opt Options) (*Manager, error) {
 		parts[sh] = append(parts[sh], s)
 	}
 
+	open := opt.Runtime
+	if open == nil {
+		open = NewLocalRuntime
+	}
 	for sh := 0; sh < k; sh++ {
 		fopt := fleet.Options{
 			Workers:          m.shardWorkers(sh, k),
@@ -173,14 +183,14 @@ func New(specs []fleet.InstanceSpec, opt Options) (*Manager, error) {
 		if opt.DataDir != "" {
 			fopt.DataDir = filepath.Join(opt.DataDir, "shard-"+strconv.Itoa(sh))
 		}
-		flt, err := fleet.New(parts[sh], fopt)
+		rt, err := open(sh, k, parts[sh], fopt)
 		if err != nil {
-			for _, prev := range m.shards {
+			for _, prev := range m.runtimes {
 				prev.Close()
 			}
 			return nil, fmt.Errorf("shard %d: %w", sh, err)
 		}
-		m.shards = append(m.shards, flt)
+		m.runtimes = append(m.runtimes, rt)
 	}
 	m.registerMetrics()
 	return m, nil
@@ -191,7 +201,16 @@ func New(specs []fleet.InstanceSpec, opt Options) (*Manager, error) {
 // one — a shard is an independent engine and must be able to make progress
 // on its own.
 func (m *Manager) shardWorkers(sh, k int) int {
-	w := m.workers/k + boolInt(sh < m.workers%k)
+	return WorkerShare(m.workers, sh, k)
+}
+
+// WorkerShare is the pinned worker-budget split: shard sh of k gets its
+// even share of total (the first total%k shards absorb the remainder),
+// never less than one. Exported so a manually launched worker process
+// (`pinsqld -role worker`) derives the same budget the coordinator would
+// hand it — the split is part of the determinism contract's inputs.
+func WorkerShare(total, sh, k int) int {
+	w := total/k + boolInt(sh < total%k)
 	if w < 1 {
 		w = 1
 	}
@@ -255,36 +274,45 @@ func resolveShards(opt Options) (int, error) {
 }
 
 // registerMetrics adds the per-shard aggregate series. Everything reads
-// shard state at scrape time — nothing here touches the hot path.
+// shard state at scrape time through the Runtime seam — nothing here
+// touches the hot path. A remote shard whose worker is unreachable
+// reports zeroes (and pinsql_shard_up 0) rather than failing the scrape.
 func (m *Manager) registerMetrics() {
-	for sh, flt := range m.shards {
-		sh, flt := sh, flt
+	for sh, rt := range m.runtimes {
+		sh, rt := sh, rt
 		lbl := obs.L("shard", strconv.Itoa(sh))
+		status := func() fleet.Status {
+			st, _ := rt.Status()
+			return st
+		}
+		m.metrics.GaugeFunc("pinsql_shard_up", "Whether the shard's engine is running and reachable (always 1 in-process).", func() float64 {
+			return float64(boolInt(rt.Up()))
+		}, lbl)
 		m.metrics.GaugeFunc("pinsql_shard_instances", "Instances assigned to the shard.", func() float64 {
-			return float64(len(flt.IDs()))
+			return float64(len(rt.IDs()))
 		}, lbl)
 		m.metrics.GaugeFunc("pinsql_shard_workers", "Scheduler workers owned by the shard.", func() float64 {
-			return float64(flt.Status().Workers)
+			return float64(status().Workers)
 		}, lbl)
 		m.metrics.CounterFunc("pinsql_shard_windows_total", "Monitoring windows committed by the shard.", func() float64 {
-			return float64(flt.Status().Committed)
+			return float64(status().Committed)
 		}, lbl)
 		m.metrics.CounterFunc("pinsql_shard_shed_windows_total", "Windows whose diagnosis the shard shed under backpressure.", func() float64 {
-			return float64(flt.Status().Shed)
+			return float64(status().Shed)
 		}, lbl)
 		m.metrics.GaugeFunc("pinsql_shard_queue_depth", "Staged windows awaiting diagnosis across the shard's instances.", func() float64 {
 			depth := 0
-			for _, is := range flt.Status().Instances {
+			for _, is := range status().Instances {
 				depth += is.QueueDepth
 			}
 			return float64(depth)
 		}, lbl)
 		m.metrics.CounterFunc("pinsql_shard_commit_batches_total", "Window-journal group commits (one fsync each).", func() float64 {
-			b, _ := flt.JournalStats()
+			b, _ := rt.JournalStats()
 			return float64(b)
 		}, lbl)
 		m.metrics.CounterFunc("pinsql_shard_commit_batch_windows_total", "Windows covered by journal group commits (divide by batches for the mean batch size).", func() float64 {
-			_, w := flt.JournalStats()
+			_, w := rt.JournalStats()
 			return float64(w)
 		}, lbl)
 	}
@@ -293,36 +321,70 @@ func (m *Manager) registerMetrics() {
 // Metrics returns the shared registry behind GET /metrics.
 func (m *Manager) Metrics() *obs.Registry { return m.metrics }
 
+// MetricsExposition renders the full Prometheus text document: the
+// coordinator's own registry (pinsql_shard_* aggregates plus every
+// in-process shard's series) merged with each remote shard's scrape.
+// Worker series already carry the shard label, so the merged families
+// line up exactly with in-process mode; when every shard is in-process
+// the output is the registry's exposition, byte for byte. A shard whose
+// worker cannot be scraped contributes nothing this scrape (its
+// pinsql_shard_up gauge reads 0).
+func (m *Manager) MetricsExposition() string {
+	var b strings.Builder
+	_ = m.metrics.WritePrometheus(&b)
+	texts := make([]string, 0, 1+len(m.runtimes))
+	texts = append(texts, b.String())
+	remote := false
+	for _, rt := range m.runtimes {
+		t, err := rt.MetricsText()
+		if err != nil || t == "" {
+			continue
+		}
+		remote = true
+		texts = append(texts, t)
+	}
+	if !remote {
+		return texts[0]
+	}
+	return obs.MergeText(texts...)
+}
+
 // Shards returns the number of shards.
-func (m *Manager) Shards() int { return len(m.shards) }
+func (m *Manager) Shards() int { return len(m.runtimes) }
 
 // Workers returns the resolved total worker budget (the sum of the
 // per-shard pools can exceed it when shards outnumber workers: every shard
 // keeps at least one).
 func (m *Manager) Workers() int {
 	total := 0
-	for sh := range m.shards {
-		total += m.shardWorkers(sh, len(m.shards))
+	for sh := range m.runtimes {
+		total += m.shardWorkers(sh, len(m.runtimes))
 	}
 	return total
 }
 
 // Start launches every shard's scheduler.
 func (m *Manager) Start() {
-	for _, flt := range m.shards {
-		flt.Start()
+	for _, rt := range m.runtimes {
+		rt.Start()
 	}
 }
 
-// Wait blocks until every shard settles and returns the first shard error.
+// Wait blocks until every shard settles and returns the first shard
+// error. Shards wait concurrently so one slow (or mid-restart remote)
+// shard does not serialize the others.
 func (m *Manager) Wait() error {
-	var first error
-	for sh, flt := range m.shards {
-		if err := flt.Wait(); err != nil && first == nil {
-			first = fmt.Errorf("shard %d: %w", sh, err)
-		}
+	errs := make([]error, len(m.runtimes))
+	var wg sync.WaitGroup
+	for sh, rt := range m.runtimes {
+		wg.Add(1)
+		go func(sh int, rt Runtime) {
+			defer wg.Done()
+			errs[sh] = rt.Wait()
+		}(sh, rt)
 	}
-	return first
+	wg.Wait()
+	return firstShardErr(errs)
 }
 
 // Stop drains every shard in parallel — no new windows, queued windows
@@ -330,14 +392,14 @@ func (m *Manager) Wait() error {
 // concurrently is safe because they share no storage; the drained-window
 // accounting still sums to the unsharded total (pinned by test).
 func (m *Manager) Stop() error {
-	errs := make([]error, len(m.shards))
+	errs := make([]error, len(m.runtimes))
 	var wg sync.WaitGroup
-	for sh, flt := range m.shards {
+	for sh, rt := range m.runtimes {
 		wg.Add(1)
-		go func(sh int, flt *fleet.Fleet) {
+		go func(sh int, rt Runtime) {
 			defer wg.Done()
-			errs[sh] = flt.Stop()
-		}(sh, flt)
+			errs[sh] = rt.Stop()
+		}(sh, rt)
 	}
 	wg.Wait()
 	return firstShardErr(errs)
@@ -345,14 +407,14 @@ func (m *Manager) Stop() error {
 
 // Close closes every shard in parallel (graceful unless a shard crashed).
 func (m *Manager) Close() error {
-	errs := make([]error, len(m.shards))
+	errs := make([]error, len(m.runtimes))
 	var wg sync.WaitGroup
-	for sh, flt := range m.shards {
+	for sh, rt := range m.runtimes {
 		wg.Add(1)
-		go func(sh int, flt *fleet.Fleet) {
+		go func(sh int, rt Runtime) {
 			defer wg.Done()
-			errs[sh] = flt.Close()
-		}(sh, flt)
+			errs[sh] = rt.Close()
+		}(sh, rt)
 	}
 	wg.Wait()
 	return firstShardErr(errs)
@@ -369,14 +431,30 @@ func firstShardErr(errs []error) error {
 
 // Report merges the shards' committed windows into the fleet-wide report,
 // instances in global ID order — byte-identical to the same specs run
-// unsharded (the determinism contract's observable artifact).
-func (m *Manager) Report() string {
+// unsharded, in-process or as worker processes (the determinism
+// contract's observable artifact). Fragments are fetched concurrently,
+// one round trip per shard; the merge order is fixed by m.ids, so fetch
+// concurrency cannot reorder a byte.
+func (m *Manager) Report() (string, error) {
+	frags := make([]map[string][]*fleet.WindowReport, len(m.runtimes))
+	errs := make([]error, len(m.runtimes))
+	var wg sync.WaitGroup
+	for sh, rt := range m.runtimes {
+		wg.Add(1)
+		go func(sh int, rt Runtime) {
+			defer wg.Done()
+			frags[sh], errs[sh] = rt.Reports()
+		}(sh, rt)
+	}
+	wg.Wait()
+	if err := firstShardErr(errs); err != nil {
+		return "", err
+	}
 	var b strings.Builder
 	for _, id := range m.ids {
-		reps, _ := m.shards[m.assign[id]].Diagnoses(id)
-		fleet.FormatInstanceReport(&b, id, reps)
+		fleet.FormatInstanceReport(&b, id, frags[m.assign[id]][id])
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // Diagnoses routes to the owning shard; ok is false for unknown instances.
@@ -385,7 +463,7 @@ func (m *Manager) Diagnoses(id string) ([]*fleet.WindowReport, bool) {
 	if !ok {
 		return nil, false
 	}
-	return m.shards[sh].Diagnoses(id)
+	return m.runtimes[sh].Diagnoses(id)
 }
 
 // InstanceRow is one instance of GET /fleet, annotated with its shard.
@@ -418,14 +496,24 @@ type ShardStatus struct {
 	CommitBatches      int64 `json:"commit_batches"`
 	CommitBatchWindows int64 `json:"commit_batch_windows"`
 	Done               bool  `json:"done"`
+	// Up is the engine's liveness (always true in-process); Error carries
+	// the last status-read failure for a remote shard.
+	Up    bool   `json:"up"`
+	Error string `json:"error,omitempty"`
 }
 
 // Status snapshots every shard and merges, instances in global ID order.
 func (m *Manager) Status() Status {
-	out := Status{Shards: len(m.shards), Done: true}
+	out := Status{Shards: len(m.runtimes), Done: true}
 	rows := make(map[string]InstanceRow, len(m.ids))
-	for sh, flt := range m.shards {
-		st := flt.Status()
+	for sh, rt := range m.runtimes {
+		st, err := rt.Status()
+		if err != nil {
+			// An unreachable shard (worker mid-restart) contributes no
+			// rows; the fleet is visibly not done rather than wrong.
+			out.Done = false
+			continue
+		}
 		out.Workers += st.Workers
 		out.Committed += st.Committed
 		out.Anomalies += st.Anomalies
@@ -441,16 +529,22 @@ func (m *Manager) Status() Status {
 		}
 	}
 	for _, id := range m.ids {
-		out.Instances = append(out.Instances, rows[id])
+		if row, ok := rows[id]; ok {
+			out.Instances = append(out.Instances, row)
+		}
 	}
 	return out
 }
 
 // ShardStatuses snapshots the per-shard rollups behind GET /shards.
 func (m *Manager) ShardStatuses() []ShardStatus {
-	out := make([]ShardStatus, len(m.shards))
-	for sh, flt := range m.shards {
-		st := flt.Status()
+	out := make([]ShardStatus, len(m.runtimes))
+	for sh, rt := range m.runtimes {
+		st, err := rt.Status()
+		if err != nil {
+			out[sh] = ShardStatus{Shard: sh, Up: rt.Up(), Error: err.Error()}
+			continue
+		}
 		row := ShardStatus{
 			Shard:     sh,
 			Workers:   st.Workers,
@@ -459,11 +553,12 @@ func (m *Manager) ShardStatuses() []ShardStatus {
 			Anomalies: st.Anomalies,
 			Shed:      st.Shed,
 			Done:      st.Done,
+			Up:        rt.Up(),
 		}
 		for _, is := range st.Instances {
 			row.QueueDepth += is.QueueDepth
 		}
-		row.CommitBatches, row.CommitBatchWindows = flt.JournalStats()
+		row.CommitBatches, row.CommitBatchWindows = rt.JournalStats()
 		out[sh] = row
 	}
 	return out

@@ -33,7 +33,10 @@ func runManager(t *testing.T, specs []fleet.InstanceSpec, opt Options) (string, 
 	if err := m.Wait(); err != nil {
 		t.Fatal(err)
 	}
-	rep := m.Report()
+	rep, err := m.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := m.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# Control-plane smoke test: boot pinsqld -serve over a 4-instance fleet
-# split across 2 shards, poll the aggregating HTTP endpoints while the
-# fleet is running, then SIGTERM and assert a graceful parallel drain
-# (exit 0). CI runs this on every push.
+# Control-plane smoke test, two phases. Phase 1: boot pinsqld -serve over
+# a 4-instance fleet split across 2 in-process shards, poll the
+# aggregating HTTP endpoints while the fleet is running, then SIGTERM and
+# assert a graceful parallel drain (exit 0). Phase 2: the same fleet in
+# multi-process mode (-role coordinator, one worker process per shard) —
+# assert the merged control plane, SIGKILL a worker and assert the
+# supervisor respawns it, then SIGTERM and assert the drain also stops
+# the workers. CI runs this on every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR=127.0.0.1:19131
+ADDR2=127.0.0.1:19132
 DATA=$(mktemp -d)
+DATA2=$(mktemp -d)
 LOG=$(mktemp)
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$DATA" "$LOG" pinsqld-smoke' EXIT
+LOG2=$(mktemp)
+trap 'kill "${PID:-}" "${PID2:-}" 2>/dev/null || true; rm -rf "$DATA" "$DATA2" "$LOG" "$LOG2" pinsqld-smoke' EXIT
 
 # 6 workers over 4 instances in 2 shards (3 workers each): sim tasks
 # strictly outrank diagnosis drains (the simulator is never paused), so
@@ -96,3 +103,78 @@ wait "$PID" || { echo "pinsqld exited non-zero on SIGTERM:"; cat "$LOG"; exit 1;
 grep -q "draining fleet" "$LOG" || { echo "no drain message:"; cat "$LOG"; exit 1; }
 grep -q "^instance inst-00:" "$LOG" || { echo "no final report:"; cat "$LOG"; exit 1; }
 echo "smoke-serve OK: clean drain after $(grep -c 'window' "$LOG") log lines"
+
+# ---- Phase 2: multi-process mode -------------------------------------
+# Same fleet shape, but every shard is a supervised worker process behind
+# the versioned worker API; the parent is a pure fan-out control plane.
+./pinsqld-smoke -instances 4 -windows 200 -window 300 -workers 6 -shards 2 \
+  -role coordinator -data-dir "$DATA2" -serve "$ADDR2" >"$LOG2" 2>&1 &
+PID2=$!
+
+for i in $(seq 1 150); do
+  curl -sf "http://$ADDR2/fleet" >/dev/null 2>&1 && break
+  kill -0 "$PID2" 2>/dev/null || { echo "coordinator died early:"; cat "$LOG2"; exit 1; }
+  sleep 0.2
+done
+
+FLEET=$(curl -sf "http://$ADDR2/fleet")
+echo "$FLEET" | grep -q '"shards": 2' || { echo "coordinator /fleet missing shards=2: $FLEET"; exit 1; }
+echo "$FLEET" | grep -q '"id": "inst-00"' || { echo "coordinator /fleet missing inst-00: $FLEET"; exit 1; }
+SHARDS=$(curl -sf "http://$ADDR2/shards")
+echo "$SHARDS" | grep -q '"up": true' || { echo "/shards reports no live worker: $SHARDS"; exit 1; }
+
+# The worker publishes host:port + pid next to the SHARDS file; that is
+# the supervisor's (and our) handle on the process.
+for i in $(seq 1 50); do
+  [ -s "$DATA2/worker-0.addr" ] && [ -s "$DATA2/worker-1.addr" ] && break
+  sleep 0.2
+done
+WPID0=$(sed -n 2p "$DATA2/worker-0.addr")
+kill -0 "$WPID0" 2>/dev/null || { echo "worker 0 (pid $WPID0) not running"; exit 1; }
+
+# The merged /metrics exposition must carry the coordinator's supervision
+# gauges AND the worker-scraped fleet series under their shard labels.
+METRICS=$(curl -sf "http://$ADDR2/metrics")
+echo "$METRICS" | grep -q '^pinsql_shard_up{shard="0"} 1$' \
+  || { echo "coordinator /metrics missing pinsql_shard_up for shard 0"; exit 1; }
+echo "$METRICS" | grep -q '^pinsql_shard_up{shard="1"} 1$' \
+  || { echo "coordinator /metrics missing pinsql_shard_up for shard 1"; exit 1; }
+echo "$METRICS" | grep -q '^pinsql_fleet_windows_total{instance="inst-00",shard="0"}' \
+  || { echo "worker fleet series not merged into coordinator /metrics"; exit 1; }
+[ "$(echo "$METRICS" | grep -c '^# TYPE pinsql_fleet_windows_total ')" = 1 ] \
+  || { echo "merged /metrics repeats the pinsql_fleet_windows_total header"; exit 1; }
+
+# SIGKILL worker 0: the supervisor must relaunch it (new pid in the addr
+# file) and the worker must resume from its shard journal — the control
+# plane keeps answering throughout.
+kill -KILL "$WPID0"
+for i in $(seq 1 150); do
+  NEWPID=$(sed -n 2p "$DATA2/worker-0.addr" 2>/dev/null || true)
+  [ -n "${NEWPID:-}" ] && [ "$NEWPID" != "$WPID0" ] && kill -0 "$NEWPID" 2>/dev/null && break
+  sleep 0.2
+done
+[ -n "${NEWPID:-}" ] && [ "$NEWPID" != "$WPID0" ] || { echo "worker 0 was not respawned after SIGKILL"; cat "$LOG2"; exit 1; }
+curl -sf "http://$ADDR2/fleet" | grep -q '"id": "inst-00"' \
+  || { echo "/fleet unavailable after worker respawn"; exit 1; }
+for i in $(seq 1 150); do
+  curl -sf "http://$ADDR2/shards" | grep -q '"error"' || break
+  sleep 0.2
+done
+echo "worker 0 respawned as pid $NEWPID after SIGKILL"
+
+# Graceful drain: SIGTERM must drain both workers, print the aggregated
+# report, ask the workers to exit, and leave no processes behind.
+WPID1=$(sed -n 2p "$DATA2/worker-1.addr")
+kill -TERM "$PID2"
+for i in $(seq 1 450); do kill -0 "$PID2" 2>/dev/null || break; sleep 0.2; done
+if kill -0 "$PID2" 2>/dev/null; then echo "coordinator ignored SIGTERM"; cat "$LOG2"; exit 1; fi
+wait "$PID2" || { echo "coordinator exited non-zero on SIGTERM:"; cat "$LOG2"; exit 1; }
+grep -q "draining fleet" "$LOG2" || { echo "no coordinator drain message:"; cat "$LOG2"; exit 1; }
+grep -q "^instance inst-00:" "$LOG2" || { echo "no coordinator final report:"; cat "$LOG2"; exit 1; }
+for i in $(seq 1 50); do
+  ! kill -0 "$NEWPID" 2>/dev/null && ! kill -0 "$WPID1" 2>/dev/null && break
+  sleep 0.2
+done
+kill -0 "$NEWPID" 2>/dev/null && { echo "worker 0 (pid $NEWPID) survived coordinator shutdown"; exit 1; }
+kill -0 "$WPID1" 2>/dev/null && { echo "worker 1 (pid $WPID1) survived coordinator shutdown"; exit 1; }
+echo "smoke-serve OK: multi-process drain clean, workers exited"
